@@ -1,0 +1,218 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* split criterion — Hermes' min-metadata-cut splitting vs. a naive
+  capacity-balanced splitter that ignores edge weights;
+* epsilon sensitivity — how the occupied-switch bound trades off
+  against the byte overhead;
+* TDG merging — redundancy elimination on vs. off.
+"""
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.heuristic import GreedyHeuristic, split_tdg
+from repro.core.stages import segment_fits
+from repro.experiments.reporting import Table
+from repro.network.generators import linear_topology
+from repro.network.topozoo import topology_zoo_wan
+from repro.workloads.sketches import sketch_programs
+from repro.workloads.switchp4 import real_programs
+from repro.workloads.synthetic import synthetic_programs
+
+
+def naive_balanced_split(tdg, reference):
+    """Capacity-driven splitter that is blind to metadata weights."""
+    segments = []
+    remaining = tdg
+    piece = 0
+    while not segment_fits(remaining, reference):
+        topo = remaining.topological_order(strategy="kahn")
+        demand = 0.0
+        size = 0
+        for name in topo[:-1]:
+            next_demand = demand + remaining.node(name).resource_demand
+            if size > 0 and next_demand > reference.total_capacity:
+                break
+            demand = next_demand
+            size += 1
+        size = max(size, 1)
+        prefix = remaining.subgraph(topo[:size], name=f"naive/{piece}")
+        while size > 1 and not segment_fits(prefix, reference):
+            size -= 1
+            prefix = remaining.subgraph(topo[:size], name=f"naive/{piece}")
+        segments.append(prefix)
+        remaining = remaining.subgraph(topo[size:], name="naive/rest")
+        piece += 1
+    segments.append(remaining)
+    return segments
+
+
+def _workload():
+    return real_programs(10) + synthetic_programs(10, seed=7)
+
+
+def test_bench_ablation_split_criterion(benchmark):
+    """Min-cut splitting should beat weight-blind balanced splitting."""
+    programs = _workload()
+    network = topology_zoo_wan(10)
+    tdg = ProgramAnalyzer().analyze(programs)
+
+    def run_min_cut():
+        return GreedyHeuristic(splitter=split_tdg).deploy(tdg, network)
+
+    plan_min_cut = benchmark.pedantic(run_min_cut, rounds=3, iterations=1)
+    plan_naive = GreedyHeuristic(splitter=naive_balanced_split).deploy(
+        tdg, network
+    )
+
+    table = Table(
+        "Ablation: split criterion",
+        ["splitter", "A_max (B)", "occupied switches"],
+    )
+    table.add_row(
+        [
+            "min-metadata-cut (Hermes)",
+            plan_min_cut.max_metadata_bytes(),
+            plan_min_cut.num_occupied_switches(),
+        ]
+    )
+    table.add_row(
+        [
+            "capacity-balanced (naive)",
+            plan_naive.max_metadata_bytes(),
+            plan_naive.num_occupied_switches(),
+        ]
+    )
+    from conftest import record_report
+
+    record_report(table.render())
+    assert (
+        plan_min_cut.max_metadata_bytes()
+        <= plan_naive.max_metadata_bytes()
+    )
+
+
+def test_bench_ablation_epsilon_sensitivity(benchmark):
+    """Tightening epsilon2 concentrates MATs and changes the overhead."""
+    programs = real_programs(10)
+    # 21.5 stage units over 6-stage switches: stage packing reaches
+    # ~80% fill, so five switches is the tightest feasible budget.
+    network = linear_topology(8, num_stages=6, stage_capacity=1.0)
+    tdg = ProgramAnalyzer().analyze(programs)
+
+    budgets = (5, 6, 8, None)
+
+    def sweep():
+        results = {}
+        for epsilon2 in budgets:
+            plan = GreedyHeuristic(epsilon2=epsilon2).deploy(tdg, network)
+            results[epsilon2] = plan
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        "Ablation: epsilon2 sensitivity",
+        ["epsilon2", "A_max (B)", "occupied switches"],
+    )
+    for epsilon2, plan in results.items():
+        table.add_row(
+            [
+                str(epsilon2),
+                plan.max_metadata_bytes(),
+                plan.num_occupied_switches(),
+            ]
+        )
+        if epsilon2 is not None:
+            assert plan.num_occupied_switches() <= epsilon2
+    from conftest import record_report
+
+    record_report(table.render())
+
+
+def test_bench_ablation_merging(benchmark):
+    """Redundancy elimination shrinks the TDG and its footprint."""
+    programs = sketch_programs(10)
+    network = linear_topology(3)
+
+    def deploy(merge):
+        tdg = ProgramAnalyzer(merge=merge).analyze(programs)
+        plan = GreedyHeuristic().deploy(tdg, network)
+        return tdg, plan
+
+    merged_tdg, merged_plan = benchmark.pedantic(
+        deploy, args=(True,), rounds=3, iterations=1
+    )
+    unmerged_tdg, unmerged_plan = deploy(False)
+
+    table = Table(
+        "Ablation: TDG merging",
+        ["merging", "MATs", "stage units", "A_max (B)"],
+    )
+    for label, tdg, plan in (
+        ("on (SPEED-style)", merged_tdg, merged_plan),
+        ("off", unmerged_tdg, unmerged_plan),
+    ):
+        table.add_row(
+            [
+                label,
+                len(tdg),
+                round(tdg.total_resource_demand(), 2),
+                plan.max_metadata_bytes(),
+            ]
+        )
+    from conftest import record_report
+
+    record_report(table.render())
+    assert len(merged_tdg) < len(unmerged_tdg)
+    assert (
+        merged_tdg.total_resource_demand()
+        < unmerged_tdg.total_resource_demand()
+    )
+
+
+def test_bench_ablation_hub_replication(benchmark):
+    """The Eq. 6 replication extension: clone cheap hubs per program."""
+    from repro.core.replication import (
+        replicate_cheap_hubs,
+        replication_cost,
+    )
+
+    programs = real_programs(10) + synthetic_programs(40, seed=7)
+    network = topology_zoo_wan(1)
+    tdg = ProgramAnalyzer().analyze(programs)
+
+    def run_replicated():
+        return GreedyHeuristic(replicate_hubs=True).deploy(tdg, network)
+
+    replicated_plan = benchmark.pedantic(
+        run_replicated, rounds=1, iterations=1
+    )
+    base_plan = GreedyHeuristic().deploy(tdg, network)
+    extra_units = replication_cost(tdg, replicate_cheap_hubs(tdg))
+
+    table = Table(
+        "Ablation: hub replication (extension)",
+        ["policy", "A_max (B)", "occupied switches", "extra stage units"],
+    )
+    table.add_row(
+        [
+            "merged hubs (paper)",
+            base_plan.max_metadata_bytes(),
+            base_plan.num_occupied_switches(),
+            0.0,
+        ]
+    )
+    table.add_row(
+        [
+            "replicated hubs",
+            replicated_plan.max_metadata_bytes(),
+            replicated_plan.num_occupied_switches(),
+            round(extra_units, 1),
+        ]
+    )
+    from conftest import record_report
+
+    record_report(table.render())
+    # At this scale hub edges dominate the cuts, so replication wins.
+    assert (
+        replicated_plan.max_metadata_bytes()
+        <= base_plan.max_metadata_bytes()
+    )

@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the substrate components.
+
+Not a paper figure — these track the performance of the pieces the
+experiments are built on (analyzer, splitter, MILP solver, path
+enumeration, DES) so regressions are visible independently of the
+end-to-end numbers.
+"""
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.heuristic import split_tdg
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.branch_bound import BranchBoundSolver
+from repro.network.paths import PathEnumerator
+from repro.network.switch import Switch
+from repro.network.topozoo import topology_zoo_wan
+from repro.simulation.flow import Flow
+from repro.simulation.netsim import FlowSimulator, uniform_path
+from repro.workloads.synthetic import synthetic_programs
+
+
+def test_bench_program_analysis(benchmark):
+    programs = synthetic_programs(50, seed=7)
+    tdg = benchmark(ProgramAnalyzer().analyze, programs)
+    assert len(tdg) > 100
+
+
+def test_bench_tdg_split(benchmark):
+    programs = synthetic_programs(50, seed=7)
+    tdg = ProgramAnalyzer().analyze(programs)
+    reference = Switch("ref")
+    segments = benchmark(split_tdg, tdg, reference)
+    assert segments
+
+
+def test_bench_path_enumeration(benchmark):
+    network = topology_zoo_wan(1)
+    names = network.programmable_names()
+
+    def enumerate_pairs():
+        paths = PathEnumerator(network, k=3)
+        total = 0
+        for u in names[:10]:
+            for v in names[:10]:
+                if u != v:
+                    total += len(paths.paths(u, v))
+        return total
+
+    assert benchmark(enumerate_pairs) > 0
+
+
+def test_bench_milp_knapsack(benchmark):
+    def build_and_solve():
+        model = Model("knap")
+        weights = [5, 7, 4, 3, 8, 6, 9, 2, 5, 4, 7, 3]
+        values = [10, 13, 7, 5, 16, 11, 17, 3, 9, 8, 12, 6]
+        xs = [model.add_binary(f"x{i}") for i in range(len(weights))]
+        model.add_constr(
+            LinExpr.total(w * x for w, x in zip(weights, xs)) <= 26
+        )
+        model.maximize(
+            LinExpr.total(v * x for v, x in zip(values, xs))
+        )
+        return BranchBoundSolver(time_limit_s=30).solve(model)
+
+    solution = benchmark(build_and_solve)
+    assert solution.status.has_solution
+
+
+def test_bench_des_throughput(benchmark):
+    simulator = FlowSimulator(uniform_path(5))
+    flow = Flow(1, message_bytes=1024 * 2000, packet_payload_bytes=1024)
+    metrics = benchmark.pedantic(
+        simulator.run, args=(flow,), rounds=3, iterations=1
+    )
+    assert metrics.num_packets == 2000
+
+
+def test_bench_dataflow_verification(benchmark):
+    from repro.core.heuristic import GreedyHeuristic
+    from repro.core.verification import verify_dataflow
+    from repro.workloads.switchp4 import real_programs
+
+    programs = real_programs(10) + synthetic_programs(40, seed=7)
+    tdg = ProgramAnalyzer().analyze(programs)
+    network = topology_zoo_wan(1)
+    plan = GreedyHeuristic().deploy(tdg, network)
+
+    report = benchmark(verify_dataflow, plan)
+    assert report.rounds >= 1
+    assert len(report.execution_order) == len(tdg)
+
+
+def test_bench_interpreter_packet_rate(benchmark):
+    from repro.core import Hermes
+    from repro.simulation.interpreter import PlanInterpreter
+    from repro.workloads.switchp4 import real_programs
+
+    plan = Hermes().deploy(
+        real_programs(10),
+        topology_zoo_wan(2),
+    ).plan
+    interpreter = PlanInterpreter(plan)
+    packet = {
+        "ipv4.src_addr": 0x0A000001,
+        "ipv4.dst_addr": 0x0A000002,
+        "ipv4.protocol": 6,
+        "tcp.src_port": 1234,
+        "tcp.dst_port": 80,
+        "ethernet.src_addr": 1,
+        "ethernet.dst_addr": 2,
+        "vlan.vid": 1,
+        "ipv4.dscp": 0,
+        "udp.dst_port": 4789,
+        "tcp.flags": 2,
+    }
+
+    def run_burst():
+        for i in range(100):
+            interpreter.run_packet(dict(packet, **{"tcp.src_port": i}))
+
+    benchmark.pedantic(run_burst, rounds=3, iterations=1)

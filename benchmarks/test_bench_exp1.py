@@ -1,0 +1,36 @@
+"""Benchmark: Exp#1 (Fig. 5) — testbed deployment of real programs."""
+
+from conftest import representative_frameworks
+
+from repro.experiments import exp1_testbed
+
+
+def test_bench_exp1_testbed(benchmark):
+    points = benchmark.pedantic(
+        exp1_testbed.run,
+        kwargs=dict(
+            program_counts=(2, 6, 10),
+            frameworks=representative_frameworks(ilp_time_limit_s=8.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from conftest import record_report
+
+    record_report(exp1_testbed.main(points))
+
+    def overhead(name, count):
+        return next(
+            p.record.overhead_bytes
+            for p in points
+            if p.record.framework == name and p.num_programs == count
+        )
+
+    # Paper shape: Hermes matches Optimal on the small testbed and never
+    # exceeds the overhead-oblivious baselines.
+    for count in (2, 6, 10):
+        hermes = overhead("Hermes", count)
+        assert hermes <= overhead("FFL", count)
+        assert hermes <= overhead("FFLS", count)
+        assert hermes <= overhead("MS", count)
+        assert overhead("Optimal", count) <= hermes

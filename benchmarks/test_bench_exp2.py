@@ -1,0 +1,28 @@
+"""Benchmark: Exp#2 (Fig. 6) — per-packet byte overhead at scale."""
+
+from repro.experiments.exp2_overhead import main, pivot
+
+
+def test_bench_exp2_overhead(benchmark, exp2_points):
+    points = exp2_points
+
+    def summarize():
+        return pivot(points, "overhead_bytes", "Fig. 6")
+
+    benchmark.pedantic(summarize, rounds=3, iterations=1)
+    from conftest import record_report
+
+    record_report(main(points))
+
+    by_framework = {}
+    for point in points:
+        by_framework.setdefault(point.record.framework, []).append(
+            point.record.overhead_bytes
+        )
+    # Paper shape: Hermes has the lowest overhead of the non-exact
+    # frameworks on every topology; FFL/FFLS are the worst offenders.
+    for i in range(len(by_framework["Hermes"])):
+        hermes = by_framework["Hermes"][i]
+        assert hermes <= by_framework["FFL"][i]
+        assert hermes <= by_framework["FFLS"][i]
+        assert hermes <= by_framework["MS"][i]

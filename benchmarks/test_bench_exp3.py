@@ -1,0 +1,57 @@
+"""Benchmark: Exp#3 (Fig. 7) — execution time of problem solving.
+
+Directly measures the contrast the paper reports: the greedy heuristic
+solves in milliseconds where ILP-based frameworks take orders of
+magnitude longer (and hit their budgets at full scale).
+"""
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.formulation import HermesMilp
+from repro.core.heuristic import GreedyHeuristic
+from repro.experiments.exp2_overhead import workload
+from repro.experiments.exp3_exectime import main
+from repro.network.paths import PathEnumerator
+from repro.network.topozoo import topology_zoo_wan
+
+
+def test_bench_exp3_report(benchmark, exp2_points):
+    from conftest import record_report
+
+    record_report(benchmark.pedantic(main, args=(exp2_points,), rounds=1, iterations=1))
+    hermes = [
+        p.record for p in exp2_points if p.record.framework == "Hermes"
+    ]
+    speed = [
+        p.record for p in exp2_points if p.record.framework == "SPEED"
+    ]
+    # Orders of magnitude apart, as in Fig. 7.
+    for h, s in zip(hermes, speed):
+        assert h.solve_time_s * 10 < s.solve_time_s or s.timed_out
+
+
+def test_bench_exp3_heuristic_solve(benchmark):
+    programs = workload(20, seed=7)
+    network = topology_zoo_wan(10)
+    tdg = ProgramAnalyzer().analyze(programs)
+    paths = PathEnumerator(network)
+    heuristic = GreedyHeuristic()
+
+    plan = benchmark(heuristic.deploy, tdg, network, paths)
+    plan.validate()
+
+
+def test_bench_exp3_milp_solve(benchmark):
+    """The exact P#1 solve on a small instance (the tractable regime)."""
+    programs = workload(4, seed=7)
+    network = topology_zoo_wan(10)
+    tdg = ProgramAnalyzer().analyze(programs)
+    paths = PathEnumerator(network)
+    formulation = HermesMilp(time_limit_s=30, max_candidates=3)
+
+    plan = benchmark.pedantic(
+        formulation.deploy,
+        args=(tdg, network, paths),
+        rounds=1,
+        iterations=1,
+    )
+    plan.validate()

@@ -1,0 +1,34 @@
+"""Benchmark: Exp#5 (Fig. 9) — scalability with the program count."""
+
+from conftest import fast_frameworks
+
+from repro.experiments.exp5_scalability import main, run
+
+
+def test_bench_exp5_scalability(benchmark):
+    points = benchmark.pedantic(
+        run,
+        kwargs=dict(
+            program_counts=(10, 30, 50),
+            topology_id=10,
+            frameworks=fast_frameworks(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from conftest import record_report
+
+    record_report(main(points))
+
+    def series(name, attr):
+        pts = [p for p in points if p.record.framework == name]
+        pts.sort(key=lambda p: p.num_programs)
+        return [getattr(p.record, attr) for p in pts]
+
+    # Hermes stays at or below the first-fit baselines at every scale.
+    for attr in ("overhead_bytes", "fct_ratio"):
+        hermes = series("Hermes", attr)
+        ffl = series("FFL", attr)
+        assert all(h <= f for h, f in zip(hermes, ffl))
+    # And its solve time stays in the sub-second regime.
+    assert max(series("Hermes", "solve_time_s")) < 5.0

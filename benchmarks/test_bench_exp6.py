@@ -1,0 +1,17 @@
+"""Benchmark: Exp#6 — switch resource consumption of coordination."""
+
+from repro.experiments.exp6_resources import ground_truth_units, main, run
+
+
+def test_bench_exp6_resources(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    from conftest import record_report
+
+    record_report(main(rows))
+
+    truth = ground_truth_units(10)
+    assert rows[0].total_stage_units == truth
+    for row in rows[1:]:
+        # The paper's finding: coordination adds no switch resources;
+        # merging can only reduce consumption.
+        assert row.extra_vs_ground_truth <= 1e-9

@@ -1,0 +1,60 @@
+"""Benchmark: Fig. 2 — FCT/goodput degradation vs per-packet overhead."""
+
+from repro.experiments import fig2_motivation
+
+
+def test_bench_fig2_motivation(benchmark):
+    rows = benchmark.pedantic(
+        fig2_motivation.run, rounds=3, iterations=1
+    )
+    from conftest import record_report
+
+    record_report(_render(rows))
+    # Shape assertions: more overhead -> worse, smaller packets -> worse.
+    for size in fig2_motivation.PACKET_SIZES:
+        series = [r for r in rows if r.packet_size == size]
+        fcts = [r.fct_ratio for r in series]
+        assert fcts == sorted(fcts)
+    at_108 = {
+        r.packet_size: r.fct_ratio
+        for r in rows
+        if r.overhead_bytes == 108
+    }
+    assert at_108[512] > at_108[1024] > at_108[1500]
+
+
+def _render(rows) -> str:
+    from repro.experiments.reporting import Table
+
+    table = Table(
+        "Fig. 2: normalized FCT / goodput vs overhead",
+        ["overhead(B)"]
+        + [f"fct@{s}B" for s in fig2_motivation.PACKET_SIZES]
+        + [f"gp@{s}B" for s in fig2_motivation.PACKET_SIZES],
+    )
+    for overhead in fig2_motivation.OVERHEAD_SWEEP:
+        per = sorted(
+            (r for r in rows if r.overhead_bytes == overhead),
+            key=lambda r: r.packet_size,
+        )
+        table.add_row(
+            [overhead]
+            + [r.fct_ratio for r in per]
+            + [r.goodput_ratio for r in per]
+        )
+    return table.render()
+
+
+def test_bench_fig2_des_packet_level(benchmark):
+    """The packet-level DES variant (10k packets through 5 hops)."""
+    from repro.simulation.flow import Flow
+    from repro.simulation.netsim import FlowSimulator, uniform_path
+
+    simulator = FlowSimulator(uniform_path(5))
+    flow = Flow(1, message_bytes=1024 * 10_000, packet_payload_bytes=1024,
+                overhead_bytes=48)
+
+    metrics = benchmark.pedantic(
+        simulator.run, args=(flow,), rounds=3, iterations=1
+    )
+    assert metrics.num_packets == 10_000

@@ -1,0 +1,30 @@
+"""Benchmark: the trace-weighted overhead study (extension)."""
+
+from conftest import fast_frameworks, record_report
+
+from repro.experiments.trace_study import main, run
+
+
+def test_bench_trace_study(benchmark):
+    rows = benchmark.pedantic(
+        run,
+        kwargs=dict(
+            topology_id=5,
+            num_programs=20,
+            frameworks=fast_frameworks(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_report(main(rows))
+
+    by_name = {row.framework: row for row in rows}
+    hermes = by_name["Hermes"]
+    ffl = by_name["FFL"]
+    assert hermes.overhead_bytes <= ffl.overhead_bytes
+    assert (
+        hermes.metrics.mean_slowdown <= ffl.metrics.mean_slowdown
+    )
+    assert (
+        hermes.metrics.total_wire_bytes <= ffl.metrics.total_wire_bytes
+    )

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy two small programs with Hermes.
+
+Builds a flow-counting program and a routing program, deploys them on a
+three-switch line with the greedy heuristic, and prints the placement,
+the per-packet byte overhead and the generated switch configurations.
+
+Run:  python examples/quickstart.py
+"""
+
+import json
+
+from repro.core import Backend, CoordinationAnalysis, Hermes
+from repro.dataplane import (
+    Mat,
+    Program,
+    counter_update,
+    forward,
+    hash_compute,
+    metadata_field,
+    modify,
+    standard_headers,
+)
+from repro.network import linear_topology
+
+
+def build_flow_counter() -> Program:
+    """hash the 5-tuple -> update a counter -> mark heavy flows."""
+    hdr = standard_headers()
+    index = metadata_field("fc.index", 32)
+    count = metadata_field("fc.count", 32)
+    return Program(
+        "flow_counter",
+        [
+            Mat(
+                "hash",
+                match_fields=[hdr["ipv4.protocol"]],
+                actions=[
+                    hash_compute(
+                        index, [hdr["ipv4.src_addr"], hdr["ipv4.dst_addr"]]
+                    )
+                ],
+                capacity=16,
+                resource_demand=0.3,
+            ),
+            Mat(
+                "count",
+                match_fields=[index],
+                actions=[counter_update(index, count)],
+                capacity=65536,
+                resource_demand=0.5,
+            ),
+            Mat(
+                "mark",
+                match_fields=[count],
+                actions=[modify(hdr["ipv4.dscp"], name="mark_heavy")],
+                capacity=16,
+                resource_demand=0.2,
+            ),
+        ],
+    )
+
+
+def build_router() -> Program:
+    """LPM lookup -> egress port selection."""
+    hdr = standard_headers()
+    egress = metadata_field("rt.egress", 16)
+    return Program(
+        "router",
+        [
+            Mat(
+                "lpm",
+                match_fields=[hdr["ipv4.dst_addr"]],
+                actions=[modify(egress, name="set_port")],
+                capacity=16384,
+                resource_demand=0.4,
+            ),
+            Mat(
+                "send",
+                match_fields=[egress],
+                actions=[forward(egress)],
+                capacity=64,
+                resource_demand=0.2,
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    programs = [build_flow_counter(), build_router()]
+    network = linear_topology(3, num_stages=2, stage_capacity=0.8)
+
+    result = Hermes().deploy(programs, network)
+    plan = result.plan
+
+    print(f"deployed {len(plan.placements)} MATs on "
+          f"{plan.num_occupied_switches()} switches "
+          f"in {result.total_time_s * 1000:.1f} ms")
+    print(f"per-packet byte overhead (A_max): {plan.max_metadata_bytes()} B\n")
+
+    for switch in plan.occupied_switches():
+        mats = ", ".join(plan.mats_on(switch))
+        print(f"  {switch}: {mats}")
+
+    coordination = CoordinationAnalysis(plan)
+    if coordination.channels:
+        print("\nmetadata channels:")
+        for (u, v), channel in coordination.channels.items():
+            fields = ", ".join(channel.field_names)
+            print(f"  {u} -> {v}: {channel.declared_bytes} B ({fields})")
+    else:
+        print("\nno inter-switch metadata needed")
+
+    configs = Backend().compile(plan)
+    first = plan.occupied_switches()[0]
+    print(f"\nswitch config for {first}:")
+    print(json.dumps(configs[first].to_dict(), indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 660 editable installs are unavailable; `pip install -e . --no-use-pep517`
+uses this file instead."""
+from setuptools import setup
+
+setup()

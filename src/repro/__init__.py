@@ -1,0 +1,8 @@
+"""Hermes reproduction: low-overhead inter-switch coordination for
+network-wide data plane program deployment (ICDCS 2022).
+
+See :mod:`repro.core` for the deployment framework, and README.md for
+the guided tour.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,30 @@
+"""First fit by level and size (FFLS).
+
+FFL with a size-aware twist: within a level the largest MATs are
+placed first, the standard decreasing-first-fit improvement for bin
+packing.  Still oblivious to metadata sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.ffl import Ffl, mat_levels
+from repro.tdg.graph import Tdg
+
+
+class Ffls(Ffl):
+    """The FFLS baseline: first fit by level, size-descending."""
+
+    name = "FFLS"
+
+    def level_order(self, segment: Tdg) -> List[str]:
+        levels = mat_levels(segment)
+        return sorted(
+            segment.node_names,
+            key=lambda a: (
+                levels[a],
+                -segment.node(a).resource_demand,
+                a,
+            ),
+        )

@@ -1,0 +1,21 @@
+"""Flightplan (Sultana et al., NSDI'21).
+
+Flightplan disaggregates one program across heterogeneous devices to
+satisfy per-device resource constraints.  It plans each program
+independently (no cross-program merging) and favours plans touching as
+few devices as possible; we model it as the switch-count-minimizing ILP
+over the unmerged TDG.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.speed import Speed
+from repro.core.formulation import OBJECTIVE_SWITCHES
+
+
+class Flightplan(Speed):
+    """The Flightplan baseline: unmerged TDG, device-count objective."""
+
+    name = "FP"
+    merges = False
+    objective = OBJECTIVE_SWITCHES

@@ -1,0 +1,21 @@
+"""P4All (Hogan et al., NSDI'22).
+
+P4All lets programmers compose modular P4 elements and solves an ILP
+that sizes and places them, hiding deployment details.  Modules are
+planned per program (no cross-program redundancy elimination); the
+placement objective maximizes packet-processing performance, which we
+model as the latency-minimizing ILP on the unmerged TDG.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.speed import Speed
+from repro.core.formulation import OBJECTIVE_LATENCY
+
+
+class P4All(Speed):
+    """The P4All baseline: unmerged TDG, latency objective."""
+
+    name = "P4All"
+    merges = False
+    objective = OBJECTIVE_LATENCY

@@ -1,0 +1,28 @@
+"""Sonata (Gupta et al., SIGCOMM'18), extended network-wide.
+
+Sonata plans telemetry queries onto a switch by ILP, refining the most
+expensive queries first.  We model that as Min-Stage's per-program
+stage-minimizing ILP with the programs scheduled in descending order of
+total resource demand (query cost), so the heaviest queries claim the
+first switch in the chain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines.min_stage import MinStage
+from repro.dataplane.program import Program
+
+
+class Sonata(MinStage):
+    """The Sonata baseline: cost-descending program order."""
+
+    name = "Sonata"
+
+    def program_order(self, programs: Sequence[Program]) -> List[Program]:
+        return sorted(
+            programs,
+            key=lambda p: p.total_resource_demand,
+            reverse=True,
+        )

@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Run any paper experiment or an ad-hoc deployment without writing code:
+
+    python -m repro fig2
+    python -m repro exp1
+    python -m repro exp2 --topologies 1 5 10 --programs 20
+    python -m repro exp5 --programs 10 30 50
+    python -m repro exp6
+    python -m repro deploy --workload real:10 --topology zoo:3 \
+        --mode heuristic --verify
+
+Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
+``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
+specs: ``zoo:ID`` (Table III), ``linear:N``, ``fattree:K``,
+``wan:NODES:EDGES[:seed]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Sequence
+
+from repro.dataplane.program import Program
+from repro.network.generators import fat_tree, linear_topology, random_wan
+from repro.network.topology import Network
+from repro.network.topozoo import topology_zoo_wan
+
+
+def parse_workload(spec: str) -> List[Program]:
+    """Parse a ``+``-joined workload spec into programs."""
+    from repro.workloads import (
+        real_programs,
+        sketch_programs,
+        synthetic_programs,
+    )
+
+    programs: List[Program] = []
+    for part in spec.split("+"):
+        fields = part.strip().split(":")
+        kind = fields[0]
+        if kind == "real":
+            programs += real_programs(int(fields[1]))
+        elif kind == "sketches":
+            programs += sketch_programs(int(fields[1]))
+        elif kind == "synthetic":
+            count = int(fields[1])
+            seed = int(fields[2]) if len(fields) > 2 else 7
+            programs += synthetic_programs(count, seed=seed)
+        else:
+            raise ValueError(f"unknown workload kind {kind!r} in {spec!r}")
+    return programs
+
+
+def parse_topology(spec: str) -> Network:
+    """Parse a topology spec into a network."""
+    fields = spec.strip().split(":")
+    kind = fields[0]
+    if kind == "zoo":
+        return topology_zoo_wan(int(fields[1]))
+    if kind == "linear":
+        return linear_topology(int(fields[1]))
+    if kind == "fattree":
+        return fat_tree(int(fields[1]))
+    if kind == "wan":
+        nodes, edges = int(fields[1]), int(fields[2])
+        seed = int(fields[3]) if len(fields) > 3 else 0
+        return random_wan(nodes, edges, seed=seed)
+    raise ValueError(f"unknown topology kind {kind!r} in {spec!r}")
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.core import Backend, CoordinationAnalysis, Hermes
+    from repro.core.verification import verify_dataflow
+
+    programs = parse_workload(args.workload)
+    network = parse_topology(args.topology)
+    hermes = Hermes(
+        mode=args.mode,
+        epsilon2=args.epsilon2,
+        time_limit_s=args.time_limit,
+        replicate_hubs="auto" if args.replicate else False,
+    )
+    result = hermes.deploy(programs, network)
+    plan = result.plan
+    print(
+        f"deployed {len(plan.placements)} MATs from {len(programs)} "
+        f"programs on {plan.num_occupied_switches()} switches "
+        f"({network.name})"
+    )
+    print(f"per-packet byte overhead (A_max): {plan.max_metadata_bytes()} B")
+    print(f"placement time: {result.solve_time_s * 1000:.1f} ms")
+    channels = CoordinationAnalysis(plan)
+    for (u, v), channel in sorted(channels.channels.items()):
+        print(f"  channel {u} -> {v}: {channel.declared_bytes} B")
+    if args.explain:
+        from repro.core.explain import explain_overhead
+
+        print()
+        print(explain_overhead(plan).render())
+    if args.diagram:
+        from repro.experiments.visualize import render_plan
+
+        print()
+        print(render_plan(plan))
+    if args.verify:
+        report = verify_dataflow(plan)
+        print(
+            f"dataflow verified: {report.reads_checked} reads, "
+            f"{report.rounds} traversal round(s)"
+        )
+    if args.configs:
+        import json
+
+        configs = Backend().compile(plan)
+        print(json.dumps({k: v.to_dict() for k, v in configs.items()}, indent=2))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.command
+    if name == "fig2":
+        from repro.experiments import fig2_motivation
+
+        fig2_motivation.main()
+    elif name == "exp1":
+        from repro.experiments import exp1_testbed
+
+        exp1_testbed.main()
+    elif name in ("exp2", "exp3", "exp4"):
+        from repro.experiments import exp2_overhead, exp3_exectime, exp4_endtoend
+
+        points = exp2_overhead.run(
+            topology_ids=tuple(args.topologies),
+            num_programs=args.programs,
+            ilp_time_limit_s=args.time_limit,
+        )
+        {
+            "exp2": exp2_overhead.main,
+            "exp3": exp3_exectime.main,
+            "exp4": exp4_endtoend.main,
+        }[name](points)
+        _maybe_export(
+            args,
+            [
+                {"topology": p.topology_id, **_record_dict(p.record)}
+                for p in points
+            ],
+        )
+    elif name == "exp5":
+        from repro.experiments import exp5_scalability
+
+        points = exp5_scalability.run(
+            program_counts=tuple(args.programs_sweep),
+            ilp_time_limit_s=args.time_limit,
+        )
+        exp5_scalability.main(points)
+        _maybe_export(
+            args,
+            [
+                {"num_programs": p.num_programs, **_record_dict(p.record)}
+                for p in points
+            ],
+        )
+    elif name == "exp6":
+        from repro.experiments import exp6_resources
+
+        exp6_resources.main()
+    elif name == "report":
+        _quick_report()
+    else:  # pragma: no cover - argparse prevents this
+        raise AssertionError(name)
+    return 0
+
+
+def _quick_report() -> None:
+    """A five-minute, laptop-scale tour of the reproduction."""
+    from repro.baselines import Ffl, Ffls, HermesHeuristic, MinStage
+    from repro.experiments import exp2_overhead, exp6_resources, fig2_motivation
+
+    print("#" * 62)
+    print("# Hermes reproduction: quick report (reduced scales)")
+    print("#" * 62)
+    print()
+    fig2_motivation.main()
+    print()
+    points = exp2_overhead.run(
+        topology_ids=(1, 5, 10),
+        num_programs=20,
+        frameworks=[
+            MinStage(time_limit_s=0.3),
+            Ffl(),
+            Ffls(),
+            HermesHeuristic(),
+        ],
+    )
+    exp2_overhead.main(points)
+    print()
+    exp6_resources.main()
+    print()
+    hermes = [p.record for p in points if p.record.framework == "Hermes"]
+    worst = [
+        max(
+            p.record.overhead_bytes
+            for p in points
+            if p.topology_id == h_point
+        )
+        for h_point in sorted({p.topology_id for p in points})
+    ]
+    print(
+        "headline: Hermes per-packet overhead "
+        f"{[r.overhead_bytes for r in hermes]} B vs worst baseline "
+        f"{worst} B across the three topologies."
+    )
+
+
+def _record_dict(record) -> dict:
+    from dataclasses import asdict
+
+    return asdict(record)
+
+
+def _maybe_export(args: argparse.Namespace, rows: list) -> None:
+    """Write structured rows to ``--json PATH`` if requested."""
+    path = getattr(args, "json", None)
+    if not path:
+        return
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(rows, fh, indent=1)
+    print(f"wrote {len(rows)} rows to {path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hermes reproduction: experiments and deployments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("fig2", "exp1", "exp6", "report"):
+        sub.add_parser(name, help=f"run {name}")
+
+    for name in ("exp2", "exp3", "exp4"):
+        p = sub.add_parser(name, help=f"run {name} (shares exp2 runs)")
+        p.add_argument(
+            "--topologies", type=int, nargs="+", default=list(range(1, 11))
+        )
+        p.add_argument("--programs", type=int, default=50)
+        p.add_argument("--time-limit", type=float, default=10.0)
+        p.add_argument("--json", default=None, help="export rows to a JSON file")
+
+    p5 = sub.add_parser("exp5", help="run exp5 scalability")
+    p5.add_argument(
+        "--programs-sweep",
+        type=int,
+        nargs="+",
+        default=[10, 20, 30, 40, 50],
+    )
+    p5.add_argument("--time-limit", type=float, default=10.0)
+    p5.add_argument("--json", default=None, help="export rows to a JSON file")
+
+    d = sub.add_parser("deploy", help="deploy a workload with Hermes")
+    d.add_argument("--workload", default="real:10")
+    d.add_argument("--topology", default="linear:3")
+    d.add_argument(
+        "--mode", choices=("heuristic", "optimal"), default="heuristic"
+    )
+    d.add_argument("--epsilon2", type=int, default=None)
+    d.add_argument("--time-limit", type=float, default=30.0)
+    d.add_argument("--replicate", action="store_true")
+    d.add_argument("--diagram", action="store_true")
+    d.add_argument("--explain", action="store_true")
+    d.add_argument("--verify", action="store_true")
+    d.add_argument("--configs", action="store_true")
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "deploy":
+        return _cmd_deploy(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Control-plane substrate.
+
+The paper's backend "invokes the network controller to direct traffic
+to correctly pass through a sequence of programmable switches" — the
+control plane is the runtime half of network-wide deployment.  This
+package provides it:
+
+* :class:`Controller` — owns a deployed plan; resolves logical MAT
+  names to their hosting switch, installs/removes rules with capacity
+  accounting, and keeps an auditable event log;
+* :class:`repro.control.migration.MigrationPlanner` — reacts to switch
+  failures (or administrative drains) by re-running the deployment on
+  the surviving network and emitting the minimal migration diff: which
+  MATs move where, which rules must be replayed, and how the byte
+  overhead changes.
+"""
+
+from repro.control.controller import (
+    Controller,
+    ControllerError,
+    RuleEvent,
+    TableHandle,
+)
+from repro.control.migration import (
+    MigrationDiff,
+    MigrationPlanner,
+    MatMove,
+)
+
+__all__ = [
+    "Controller",
+    "ControllerError",
+    "MatMove",
+    "MigrationDiff",
+    "MigrationPlanner",
+    "RuleEvent",
+    "TableHandle",
+]

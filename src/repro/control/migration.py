@@ -1,0 +1,175 @@
+"""Incremental re-deployment on network change.
+
+Production networks lose switches (failures, drains, upgrades).  The
+deployment must follow: MATs hosted by a vanished switch need a new
+home, and the overhead-minimizing structure of the surviving placement
+may change entirely.  The :class:`MigrationPlanner` re-runs the Hermes
+heuristic on the surviving network and reduces the answer to a
+*migration diff* — the minimal set of MAT moves and rule replays an
+operator (or an automated controller) must execute.
+
+Re-running the global heuristic instead of locally patching the hole is
+deliberate: Algorithm 2's placement is chain-structured, so a local
+patch can strand heavy-metadata edges across the patch boundary; the
+global re-run keeps the byte-overhead guarantee, and the diff keeps the
+disruption measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.deployment import DeploymentError, DeploymentPlan
+from repro.core.heuristic import GreedyHeuristic
+from repro.dataplane.rules import Rule
+from repro.network.topology import Network
+
+
+@dataclass(frozen=True)
+class MatMove:
+    """One MAT changing its physical location."""
+
+    mat_name: str
+    source: str  # old switch ("" when the source switch is gone)
+    destination: str
+    rules_to_replay: int
+
+
+@dataclass
+class MigrationDiff:
+    """Everything needed to transition between two plans.
+
+    Attributes:
+        moves: MATs that change switches (including those whose old
+            host failed).
+        unchanged: MATs that stay put.
+        old_overhead_bytes: ``A_max`` before the event.
+        new_overhead_bytes: ``A_max`` after re-deployment.
+        new_plan: The re-deployed plan on the surviving network.
+    """
+
+    moves: List[MatMove] = field(default_factory=list)
+    unchanged: List[str] = field(default_factory=list)
+    old_overhead_bytes: int = 0
+    new_overhead_bytes: int = 0
+    new_plan: Optional[DeploymentPlan] = None
+
+    @property
+    def disruption(self) -> float:
+        """Fraction of MATs that must move."""
+        total = len(self.moves) + len(self.unchanged)
+        return len(self.moves) / total if total else 0.0
+
+    @property
+    def rules_to_replay(self) -> int:
+        return sum(move.rules_to_replay for move in self.moves)
+
+
+def surviving_network(network: Network, failed: str) -> Network:
+    """The network minus one switch and its incident links."""
+    if failed not in network:
+        raise DeploymentError(f"unknown switch {failed!r}")
+    result = Network(f"{network.name}-minus-{failed}")
+    for switch in network.switches:
+        if switch.name != failed:
+            result.add_switch(switch)
+    for link in network.links:
+        if failed not in (link.u, link.v):
+            result.add_link(link)
+    return result
+
+
+class MigrationPlanner:
+    """Plans re-deployments after switch failures or drains.
+
+    Args:
+        epsilon1: Latency bound for the re-deployment.
+        epsilon2: Occupied-switch bound for the re-deployment.
+        replicate_hubs: Hub-replication policy forwarded to the
+            heuristic.
+    """
+
+    def __init__(
+        self,
+        epsilon1: float = math.inf,
+        epsilon2: Optional[int] = None,
+        replicate_hubs=False,
+    ) -> None:
+        self.epsilon1 = epsilon1
+        self.epsilon2 = epsilon2
+        self.replicate_hubs = replicate_hubs
+
+    def handle_switch_failure(
+        self,
+        plan: DeploymentPlan,
+        failed_switch: str,
+        installed_rules: Optional[Dict[str, List[Rule]]] = None,
+    ) -> MigrationDiff:
+        """Re-deploy after losing ``failed_switch``.
+
+        Args:
+            plan: The currently active plan.
+            failed_switch: The switch that vanished.
+            installed_rules: Optional runtime table contents (from
+                :meth:`repro.control.Controller.rules_to_replay`); used
+                to count rule replays per moved MAT.  Defaults to the
+                MATs' static rule sets.
+
+        Returns:
+            The migration diff, including the new validated plan.
+
+        Raises:
+            DeploymentError: If the surviving network cannot host the
+                merged TDG at all.
+        """
+        network = surviving_network(plan.network, failed_switch)
+        if not network.programmable_switches():
+            raise DeploymentError(
+                "no programmable switches survive the failure"
+            )
+        heuristic = GreedyHeuristic(
+            epsilon1=self.epsilon1,
+            epsilon2=self.epsilon2,
+            replicate_hubs=self.replicate_hubs,
+        )
+        new_plan = heuristic.deploy(plan.tdg, network)
+        return self.diff(plan, new_plan, installed_rules, failed_switch)
+
+    def diff(
+        self,
+        old_plan: DeploymentPlan,
+        new_plan: DeploymentPlan,
+        installed_rules: Optional[Dict[str, List[Rule]]] = None,
+        failed_switch: Optional[str] = None,
+    ) -> MigrationDiff:
+        """Compute the move set between two plans over the same TDG."""
+        if set(old_plan.placements) != set(new_plan.placements):
+            raise DeploymentError(
+                "plans deploy different MAT sets; cannot diff"
+            )
+        diff = MigrationDiff(
+            old_overhead_bytes=old_plan.max_metadata_bytes(),
+            new_overhead_bytes=new_plan.max_metadata_bytes(),
+            new_plan=new_plan,
+        )
+        for mat_name in old_plan.placements:
+            old_switch = old_plan.switch_of(mat_name)
+            new_switch = new_plan.switch_of(mat_name)
+            if old_switch == new_switch and old_switch != failed_switch:
+                diff.unchanged.append(mat_name)
+                continue
+            if installed_rules is not None:
+                replay = len(installed_rules.get(mat_name, []))
+            else:
+                replay = len(old_plan.tdg.node(mat_name).rules)
+            diff.moves.append(
+                MatMove(
+                    mat_name=mat_name,
+                    source="" if old_switch == failed_switch else old_switch,
+                    destination=new_switch,
+                    rules_to_replay=replay,
+                )
+            )
+        return diff

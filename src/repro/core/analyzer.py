@@ -1,0 +1,59 @@
+"""The program analyzer (Algorithm 1).
+
+Transforms a set of data plane programs into one merged TDG ``T_m``
+whose every edge carries its metadata size ``A(a, b)``:
+
+1. convert each program to a TDG (``build_tdg``);
+2. merge the TDGs pairwise with SPEED-style redundancy elimination
+   (``merge_tdgs``);
+3. annotate every edge with its metadata byte count
+   (``annotate_metadata_sizes``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataplane.program import Program
+from repro.tdg.analysis import annotate_metadata_sizes
+from repro.tdg.builder import build_tdg
+from repro.tdg.graph import Tdg
+from repro.tdg.merge import merge_tdgs
+
+
+class ProgramAnalyzer:
+    """Front end of Hermes: programs in, merged annotated TDG out.
+
+    Args:
+        merge: Whether to run SPEED-style redundancy elimination while
+            merging.  Disabling it keeps one node per program MAT
+            (useful for the merge-ablation benchmark).
+    """
+
+    def __init__(self, merge: bool = True) -> None:
+        self.merge = merge
+
+    def analyze(self, programs: Sequence[Program]) -> Tdg:
+        """Run Algorithm 1 over ``programs`` and return ``T_m``."""
+        if not programs:
+            raise ValueError("analyze() needs at least one program")
+        names = [p.name for p in programs]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate program names: {dupes}")
+        tdgs = [build_tdg(program) for program in programs]
+        if self.merge:
+            merged = merge_tdgs(tdgs, name="T_m")
+        else:
+            merged = tdgs[0].copy("T_m")
+            for tdg in tdgs[1:]:
+                for mat in tdg.mats:
+                    merged.add_node(mat)
+                for edge in tdg.edges:
+                    merged.add_edge(
+                        edge.upstream,
+                        edge.downstream,
+                        edge.dep_type,
+                        edge.metadata_bytes,
+                    )
+        return annotate_metadata_sizes(merged)

@@ -1,0 +1,133 @@
+"""Local-search refinement of deployment plans.
+
+Both portfolio constructions (min-cut split and first-fit chain) are
+one-shot: once segments are placed, no decision is revisited.  This
+pass polishes a finished plan with first-improvement local search on
+the objective that actually matters — the per-pair maximum:
+
+repeat up to ``max_moves`` times:
+  1. find the worst switch pair ``(u, v)``;
+  2. for each TDG edge crossing it (heaviest first), try moving one
+     endpoint to the other side;
+  3. rebuild the two affected switches' stage layouts; keep the move
+     iff the plan stays valid and ``A_max`` strictly drops.
+
+Every accepted move lowers ``A_max`` by at least one byte, so the
+search terminates; each trial costs two stage layouts plus one pair
+scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployment import DeploymentError, DeploymentPlan
+from repro.core.stages import StageAssignmentError, assign_stages
+from repro.network.paths import Path, PathEnumerator
+
+
+def _rebuild(
+    plan: DeploymentPlan,
+    hosts: Dict[str, str],
+    paths: PathEnumerator,
+) -> Optional[DeploymentPlan]:
+    """A full plan from a MAT->switch mapping, or None if infeasible."""
+    placements = {}
+    by_switch: Dict[str, List[str]] = {}
+    for mat_name, switch in hosts.items():
+        by_switch.setdefault(switch, []).append(mat_name)
+    try:
+        for switch, names in by_switch.items():
+            segment = plan.tdg.subgraph(names, name=f"ref_{switch}")
+            placements.update(
+                assign_stages(segment, plan.network.switch(switch))
+            )
+    except StageAssignmentError:
+        return None
+    candidate = DeploymentPlan(plan.tdg, plan.network, placements)
+    routing: Dict[Tuple[str, str], Path] = {}
+    for pair in candidate.pair_metadata_bytes():
+        path = paths.shortest(*pair)
+        if path is None:
+            return None
+        routing[pair] = path
+    candidate.routing = routing
+    try:
+        candidate.validate()
+    except DeploymentError:  # pragma: no cover - belt and braces
+        return None
+    # Structural validity is not enough: a move can strand metadata
+    # behind a recirculation (produced on a switch's first visit,
+    # needed on its second — the PHV does not survive the loop).  Only
+    # accept candidates the dataflow verifier can actually execute.
+    from repro.core.verification import DataflowError, verify_dataflow
+
+    try:
+        verify_dataflow(candidate)
+    except DataflowError:
+        return None
+    return candidate
+
+
+def refine_plan(
+    plan: DeploymentPlan,
+    paths: Optional[PathEnumerator] = None,
+    max_moves: int = 40,
+    max_trials_per_move: int = 24,
+) -> DeploymentPlan:
+    """Polish ``plan`` with boundary-move local search.
+
+    Args:
+        plan: A validated plan; never mutated.
+        paths: Shared path cache.
+        max_moves: Accepted-move budget.
+        max_trials_per_move: Candidate relocations examined per round.
+
+    Returns:
+        A plan with ``A_max`` less than or equal to the input's.
+    """
+    paths = paths or PathEnumerator(plan.network)
+    current = plan
+    for _round in range(max_moves):
+        pairs = current.pair_metadata_bytes()
+        if not pairs:
+            break
+        best_amax = max(pairs.values())
+        (u, v), _bytes = max(pairs.items(), key=lambda kv: kv[1])
+        crossing = sorted(
+            (
+                e
+                for e in current.tdg.edges
+                if current.switch_of(e.upstream) == u
+                and current.switch_of(e.downstream) == v
+            ),
+            key=lambda e: e.metadata_bytes,
+            reverse=True,
+        )
+        hosts = {
+            name: placement.switch
+            for name, placement in current.placements.items()
+        }
+        improved = False
+        trials = 0
+        for edge in crossing:
+            if trials >= max_trials_per_move or improved:
+                break
+            for mat_name, target in (
+                (edge.upstream, v),
+                (edge.downstream, u),
+            ):
+                trials += 1
+                trial_hosts = dict(hosts)
+                trial_hosts[mat_name] = target
+                candidate = _rebuild(current, trial_hosts, paths)
+                if (
+                    candidate is not None
+                    and candidate.max_metadata_bytes() < best_amax
+                ):
+                    current = candidate
+                    improved = True
+                    break
+        if not improved:
+            break
+    return current

@@ -1,0 +1,110 @@
+"""Selective hub replication (extension).
+
+TDG merging deduplicates MATs shared by several programs, saving switch
+resources — but the surviving *hub* MAT (typically a hash/index
+computation) now feeds many programs, and every segment boundary that
+separates the hub from a consumer costs coordination bytes.
+
+The paper's node-deployment constraint (Eq. 6) is ``sum x(a,i,u) >= 1``
+— a MAT may legally run on *several* switches.  This module exploits
+that freedom in a targeted way: hub MATs that are cheap (small resource
+demand) and source-like (no predecessors) are cloned, one copy per
+consumer program, so each program carries its own instance and the
+hub's cross-program edges disappear from every cut.  The cost is the
+duplicated resource demand — exactly the merge savings given back for
+those MATs — which is why replication is reserved for hubs whose demand
+is below a threshold.
+
+This is an extension knob (off by default) benchmarked in
+``benchmarks/test_bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataplane.mat import Mat
+from repro.tdg.graph import Tdg
+
+#: Hubs costing more than this many stage fractions are not worth
+#: duplicating: the byte savings rarely justify burning half a stage
+#: per consumer program.
+DEFAULT_MAX_REPLICA_DEMAND = 0.25
+
+
+def _program_of(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _clone(mat: Mat, new_name: str) -> Mat:
+    return Mat(
+        name=new_name,
+        match_fields=mat.match_fields,
+        actions=mat.actions,
+        capacity=mat.capacity,
+        rules=mat.rules,
+        resource_demand=mat.resource_demand,
+        detailed_demand=mat.detailed_demand,
+    )
+
+
+def replicate_cheap_hubs(
+    tdg: Tdg,
+    max_demand: float = DEFAULT_MAX_REPLICA_DEMAND,
+) -> Tdg:
+    """Clone qualifying hub MATs per consumer program.
+
+    A node qualifies when it has no predecessors (source), consumers in
+    at least two programs, and resource demand at most ``max_demand``.
+    Clones keep the original MAT's structure (they write the same
+    metadata fields, so consumers' match keys remain valid) under names
+    ``"<program>.<original>~replica"``.
+
+    Args:
+        tdg: The merged TDG; not modified.
+        max_demand: Per-replica demand ceiling.
+
+    Returns:
+        A new TDG in which every qualifying hub is replaced by
+        per-program replicas.
+    """
+    result = tdg.copy(tdg.name)
+    for name in list(result.node_names):
+        mat = result.node(name)
+        if result.predecessors(name):
+            continue
+        if mat.resource_demand > max_demand:
+            continue
+        consumers = result.out_edges(name)
+        programs = sorted(
+            {_program_of(e.downstream) for e in consumers}
+        )
+        if len(programs) < 2:
+            continue
+
+        by_program: Dict[str, List] = {}
+        for edge in consumers:
+            by_program.setdefault(_program_of(edge.downstream), []).append(
+                edge
+            )
+        result.remove_node(name)
+        base = name.split(".", 1)[1] if "." in name else name
+        for program, edges in by_program.items():
+            replica = _clone(mat, f"{program}.{base}~replica")
+            result.add_node(replica)
+            for edge in edges:
+                result.add_edge(
+                    replica.name,
+                    edge.downstream,
+                    edge.dep_type,
+                    edge.metadata_bytes,
+                )
+    return result
+
+
+def replication_cost(original: Tdg, replicated: Tdg) -> float:
+    """Extra stage units the replicas consume vs. the merged graph."""
+    return (
+        replicated.total_resource_demand()
+        - original.total_resource_demand()
+    )

@@ -1,0 +1,63 @@
+"""Data plane program model.
+
+This package models P4-style data plane programs at the level of detail
+the Hermes framework consumes: packet fields (header vs. metadata and
+their widths), actions (which fields they read and write), match rules,
+match-action tables (MATs), and whole programs (ordered collections of
+MATs with control flow between them).
+
+The model intentionally stays declarative: it captures *what* a program
+matches and modifies, not an executable packet-processing semantics,
+because the deployment problem only depends on field read/write sets,
+rule capacities and resource demands.
+"""
+
+from repro.dataplane.fields import (
+    Field,
+    FieldKind,
+    FieldSet,
+    header_field,
+    metadata_field,
+    standard_headers,
+)
+from repro.dataplane.actions import (
+    Action,
+    ActionPrimitive,
+    counter_update,
+    drop,
+    forward,
+    hash_compute,
+    modify,
+    no_op,
+)
+from repro.dataplane.rules import MatchKind, MatchSpec, Rule
+from repro.dataplane.mat import Mat, ResourceDemand
+from repro.dataplane.program import Program, ProgramValidationError
+from repro.dataplane.spec import SpecError, program_from_dict, program_to_dict
+
+__all__ = [
+    "Action",
+    "ActionPrimitive",
+    "Field",
+    "FieldKind",
+    "FieldSet",
+    "Mat",
+    "MatchKind",
+    "MatchSpec",
+    "Program",
+    "ProgramValidationError",
+    "ResourceDemand",
+    "Rule",
+    "SpecError",
+    "counter_update",
+    "drop",
+    "forward",
+    "hash_compute",
+    "header_field",
+    "metadata_field",
+    "modify",
+    "no_op",
+    "program_from_dict",
+    "program_to_dict",
+    "standard_headers",
+]

@@ -1,0 +1,123 @@
+"""Data plane programs.
+
+A :class:`Program` is an ordered sequence of MATs, mirroring the control
+flow of a P4 pipeline: table ``mats[i]`` is applied before ``mats[i+1]``.
+Optional *conditional* edges record that one table's result gates
+whether a later table executes at all (successor dependencies, type 𝕊).
+
+The program order matters: dependency classification between a pair of
+tables depends on which one executes first (a write-then-match pair is a
+match dependency; match-then-write is only a reverse-match dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.dataplane.mat import Mat
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a program's structure is inconsistent."""
+
+
+class Program:
+    """An ordered data plane program.
+
+    Args:
+        name: Program name (unique within a deployment request).
+        mats: Tables in pipeline order.
+        conditional_edges: Pairs ``(gate, gated)`` of MAT names where the
+            processing result of ``gate`` decides whether ``gated`` runs
+            (e.g. an if-branch on a metadata flag).  ``gate`` must come
+            before ``gated`` in pipeline order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mats: Sequence[Mat],
+        conditional_edges: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        if not name:
+            raise ProgramValidationError("program name must be non-empty")
+        if not mats:
+            raise ProgramValidationError(f"program {name!r} has no MATs")
+        self.name = name
+        self.mats: Tuple[Mat, ...] = tuple(mats)
+        names = [m.name for m in self.mats]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ProgramValidationError(
+                f"program {name!r} has duplicate MAT names: {dupes}"
+            )
+        self._index: Dict[str, int] = {m.name: i for i, m in enumerate(self.mats)}
+        self.conditional_edges: FrozenSet[Tuple[str, str]] = frozenset(
+            conditional_edges
+        )
+        self._validate_conditionals()
+
+    def _validate_conditionals(self) -> None:
+        for gate, gated in self.conditional_edges:
+            if gate not in self._index:
+                raise ProgramValidationError(
+                    f"program {self.name!r}: conditional gate {gate!r} "
+                    "is not a MAT of this program"
+                )
+            if gated not in self._index:
+                raise ProgramValidationError(
+                    f"program {self.name!r}: gated table {gated!r} "
+                    "is not a MAT of this program"
+                )
+            if self._index[gate] >= self._index[gated]:
+                raise ProgramValidationError(
+                    f"program {self.name!r}: gate {gate!r} must precede "
+                    f"{gated!r} in pipeline order"
+                )
+
+    def __len__(self) -> int:
+        return len(self.mats)
+
+    def __iter__(self):
+        return iter(self.mats)
+
+    def mat(self, name: str) -> Mat:
+        try:
+            return self.mats[self._index[name]]
+        except KeyError:
+            raise KeyError(f"program {self.name!r} has no MAT {name!r}") from None
+
+    def position(self, name: str) -> int:
+        """Pipeline position (0-based) of the named MAT."""
+        return self._index[name]
+
+    def executes_before(self, first: str, second: str) -> bool:
+        return self._index[first] < self._index[second]
+
+    def is_conditional(self, gate: str, gated: str) -> bool:
+        return (gate, gated) in self.conditional_edges
+
+    @property
+    def total_resource_demand(self) -> float:
+        """Sum of stage fractions over all tables (``sum R(a)``)."""
+        return sum(m.resource_demand for m in self.mats)
+
+    def field_names(self) -> Set[str]:
+        """Every field name referenced anywhere in the program."""
+        out: Set[str] = set()
+        for mat in self.mats:
+            out |= mat.match_fields.names
+            out |= mat.modified_fields.names
+            out |= mat.read_fields.names
+        return out
+
+    def writers_of(self, field_name: str) -> List[Mat]:
+        """Tables that modify the named field, in pipeline order."""
+        return [m for m in self.mats if field_name in m.modified_fields.names]
+
+    def matchers_of(self, field_name: str) -> List[Mat]:
+        """Tables that match on the named field, in pipeline order."""
+        return [m for m in self.mats if field_name in m.match_fields.names]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Program({self.name!r}, {len(self.mats)} MATs)"

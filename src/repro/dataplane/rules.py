@@ -1,0 +1,136 @@
+"""Match rules.
+
+A MAT holds a set of user-specified rules ``R_a`` (bounded by its
+capacity ``C_a``).  Each rule describes how to match packets (the match
+kind per field), which packets to match (the per-field patterns) and
+which of the MAT's actions to run on a hit.
+
+Rules matter to deployment in two ways: the rule *capacity* drives the
+memory demand of the MAT (TCAM for ternary/LPM, SRAM for exact), and
+rule equality participates in redundancy detection during TDG merging.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Optional, Tuple
+
+
+class MatchKind(enum.Enum):
+    """How a field is matched against a rule pattern."""
+
+    EXACT = "exact"
+    LPM = "lpm"
+    TERNARY = "ternary"
+    RANGE = "range"
+
+    @property
+    def needs_tcam(self) -> bool:
+        """Ternary-capable match kinds are implemented in TCAM."""
+        return self in (MatchKind.LPM, MatchKind.TERNARY, MatchKind.RANGE)
+
+
+@dataclass(frozen=True)
+class MatchSpec:
+    """One field's match pattern inside a rule.
+
+    Attributes:
+        field_name: Which field of the MAT's match key this constrains.
+        kind: The match kind.
+        value: The match value (integer pattern; semantics depend on
+            ``kind``).
+        mask_or_prefix: Ternary mask, LPM prefix length or range upper
+            bound; ``None`` for exact matches.
+    """
+
+    field_name: str
+    kind: MatchKind = MatchKind.EXACT
+    value: int = 0
+    mask_or_prefix: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.field_name:
+            raise ValueError("match spec needs a field name")
+        if self.kind is MatchKind.EXACT and self.mask_or_prefix is not None:
+            raise ValueError("exact match takes no mask/prefix")
+
+    def matches(self, value: int, field_width_bits: int) -> bool:
+        """Whether a concrete field ``value`` satisfies this spec."""
+        if self.kind is MatchKind.EXACT:
+            return value == self.value
+        if self.kind is MatchKind.TERNARY:
+            mask = self.mask_or_prefix or 0
+            return (value & mask) == (self.value & mask)
+        if self.kind is MatchKind.LPM:
+            prefix = self.mask_or_prefix or 0
+            if prefix <= 0:
+                return True
+            shift = max(field_width_bits - prefix, 0)
+            return (value >> shift) == (self.value >> shift)
+        if self.kind is MatchKind.RANGE:
+            upper = self.mask_or_prefix
+            if upper is None:
+                raise ValueError("range match needs an upper bound")
+            return self.value <= value <= upper
+        raise AssertionError(f"unhandled match kind {self.kind}")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single table entry.
+
+    Attributes:
+        matches: Field-name keyed match specs; fields absent from the
+            mapping are wildcarded.
+        action_name: Which of the MAT's actions fires on a hit.
+        priority: Tie-break priority (higher wins), as in TCAM tables.
+        action_data: Per-rule action parameters, as (field name, value)
+            pairs — the values a MODIFY_FIELD action writes when this
+            rule fires (P4 action data).
+    """
+
+    matches: Tuple[MatchSpec, ...] = dc_field(default_factory=tuple)
+    action_name: str = "no_op"
+    priority: int = 0
+    action_data: Tuple[Tuple[str, int], ...] = dc_field(
+        default_factory=tuple
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "matches", tuple(self.matches))
+        object.__setattr__(self, "action_data", tuple(self.action_data))
+        names = [m.field_name for m in self.matches]
+        if len(names) != len(set(names)):
+            raise ValueError(f"rule has duplicate match fields: {names}")
+
+    def action_value(self, field_name: str) -> Optional[int]:
+        """The action-data value for a field, if this rule carries one."""
+        for name, value in self.action_data:
+            if name == field_name:
+                return value
+        return None
+
+    def spec_for(self, field_name: str) -> Optional[MatchSpec]:
+        for spec in self.matches:
+            if spec.field_name == field_name:
+                return spec
+        return None
+
+    def matches_packet(
+        self,
+        field_values: Mapping[str, int],
+        field_widths: Mapping[str, int],
+    ) -> bool:
+        """Whether a packet (as a field-value mapping) hits this rule.
+
+        Fields missing from ``field_values`` are treated as non-matching
+        to keep evaluation conservative.
+        """
+        for spec in self.matches:
+            if spec.field_name not in field_values:
+                return False
+            width = field_widths.get(spec.field_name, 32)
+            if not spec.matches(field_values[spec.field_name], width):
+                return False
+        return True

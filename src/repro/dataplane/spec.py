@@ -1,0 +1,240 @@
+"""Declarative program specs: programs as plain dictionaries.
+
+Lets workloads live in JSON/YAML files instead of Python code, and
+round-trips every program the library can express:
+
+    spec = program_to_dict(program)
+    json.dump(spec, fh)
+    ...
+    program = program_from_dict(json.load(fh))
+
+Spec shape (all sizes in bits)::
+
+    {
+      "name": "flow_counter",
+      "fields": {
+        "meta.idx": {"width": 32, "kind": "metadata"},
+        "ipv4.src_addr": {"width": 32, "kind": "header"}
+      },
+      "mats": [
+        {
+          "name": "hash",
+          "match": ["ipv4.src_addr"],
+          "actions": [
+            {"name": "h", "primitive": "hash",
+             "reads": ["ipv4.src_addr"], "writes": ["meta.idx"]}
+          ],
+          "capacity": 16,
+          "resource_demand": 0.3,
+          "rules": [
+            {"matches": [{"field": "ipv4.src_addr", "kind": "exact",
+                          "value": 1}],
+             "action": "h", "priority": 0,
+             "action_data": {"meta.idx": 7}}
+          ]
+        }
+      ],
+      "conditional_edges": [["gate", "gated"]]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.dataplane.actions import Action, ActionPrimitive
+from repro.dataplane.fields import Field, FieldKind
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program
+from repro.dataplane.rules import MatchKind, MatchSpec, Rule
+
+
+class SpecError(ValueError):
+    """The spec dictionary is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def program_to_dict(program: Program) -> Dict[str, Any]:
+    """Serialize a program (inverse of :func:`program_from_dict`)."""
+    fields: Dict[str, Dict[str, Any]] = {}
+
+    def record_field(field: Field) -> None:
+        fields[field.name] = {
+            "width": field.width_bits,
+            "kind": field.kind.value,
+        }
+
+    mats: List[Dict[str, Any]] = []
+    for mat in program.mats:
+        for field in mat.match_fields:
+            record_field(field)
+        actions = []
+        for action in mat.actions:
+            for field in action.reads + action.writes:
+                record_field(field)
+            actions.append(
+                {
+                    "name": action.name,
+                    "primitive": action.primitive.value,
+                    "reads": [f.name for f in action.reads],
+                    "writes": [f.name for f in action.writes],
+                }
+            )
+        rules = []
+        for rule in mat.rules:
+            rules.append(
+                {
+                    "matches": [
+                        {
+                            "field": spec.field_name,
+                            "kind": spec.kind.value,
+                            "value": spec.value,
+                            **(
+                                {"mask_or_prefix": spec.mask_or_prefix}
+                                if spec.mask_or_prefix is not None
+                                else {}
+                            ),
+                        }
+                        for spec in rule.matches
+                    ],
+                    "action": rule.action_name,
+                    "priority": rule.priority,
+                    "action_data": dict(rule.action_data),
+                }
+            )
+        mats.append(
+            {
+                "name": mat.name,
+                "match": [f.name for f in mat.match_fields],
+                "actions": actions,
+                "capacity": mat.capacity,
+                "resource_demand": mat.resource_demand,
+                "rules": rules,
+            }
+        )
+    return {
+        "name": program.name,
+        "fields": fields,
+        "mats": mats,
+        "conditional_edges": [
+            list(edge) for edge in sorted(program.conditional_edges)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise SpecError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def _parse_fields(spec: Mapping[str, Any]) -> Dict[str, Field]:
+    fields: Dict[str, Field] = {}
+    for name, body in _require(spec, "fields", "program spec").items():
+        width = _require(body, "width", f"field {name!r}")
+        kind_name = body.get("kind", "header")
+        try:
+            kind = FieldKind(kind_name)
+        except ValueError:
+            raise SpecError(
+                f"field {name!r}: unknown kind {kind_name!r}"
+            ) from None
+        fields[name] = Field(name, int(width), kind)
+    return fields
+
+
+def _lookup(fields: Mapping[str, Field], name: str, context: str) -> Field:
+    try:
+        return fields[name]
+    except KeyError:
+        raise SpecError(
+            f"{context}: references undeclared field {name!r}"
+        ) from None
+
+
+def _parse_action(
+    body: Mapping[str, Any], fields: Mapping[str, Field]
+) -> Action:
+    name = _require(body, "name", "action")
+    primitive_name = body.get("primitive", "no_op")
+    try:
+        primitive = ActionPrimitive(primitive_name)
+    except ValueError:
+        raise SpecError(
+            f"action {name!r}: unknown primitive {primitive_name!r}"
+        ) from None
+    reads = tuple(
+        _lookup(fields, f, f"action {name!r}") for f in body.get("reads", [])
+    )
+    writes = tuple(
+        _lookup(fields, f, f"action {name!r}") for f in body.get("writes", [])
+    )
+    return Action(name, primitive, reads=reads, writes=writes)
+
+
+def _parse_rule(body: Mapping[str, Any]) -> Rule:
+    matches = []
+    for m in body.get("matches", []):
+        kind_name = m.get("kind", "exact")
+        try:
+            kind = MatchKind(kind_name)
+        except ValueError:
+            raise SpecError(
+                f"rule: unknown match kind {kind_name!r}"
+            ) from None
+        matches.append(
+            MatchSpec(
+                _require(m, "field", "rule match"),
+                kind,
+                int(m.get("value", 0)),
+                m.get("mask_or_prefix"),
+            )
+        )
+    return Rule(
+        matches=tuple(matches),
+        action_name=body.get("action", "no_op"),
+        priority=int(body.get("priority", 0)),
+        action_data=tuple(
+            (k, int(v)) for k, v in body.get("action_data", {}).items()
+        ),
+    )
+
+
+def program_from_dict(spec: Mapping[str, Any]) -> Program:
+    """Build a :class:`Program` from its spec dictionary.
+
+    Raises:
+        SpecError: On any structural problem (missing keys, undeclared
+            fields, unknown enums); underlying model validation errors
+            propagate as-is.
+    """
+    name = _require(spec, "name", "program spec")
+    fields = _parse_fields(spec)
+    mats: List[Mat] = []
+    for body in _require(spec, "mats", "program spec"):
+        mat_name = _require(body, "name", "mat spec")
+        context = f"mat {mat_name!r}"
+        match_fields = [
+            _lookup(fields, f, context) for f in body.get("match", [])
+        ]
+        actions = [
+            _parse_action(a, fields) for a in _require(body, "actions", context)
+        ]
+        rules = [_parse_rule(r) for r in body.get("rules", [])]
+        mats.append(
+            Mat(
+                mat_name,
+                match_fields=match_fields,
+                actions=actions,
+                capacity=int(body.get("capacity", 1024)),
+                rules=rules,
+                resource_demand=body.get("resource_demand"),
+            )
+        )
+    edges = [tuple(e) for e in spec.get("conditional_edges", [])]
+    return Program(name, mats, edges)

@@ -1,0 +1,116 @@
+"""Exp#1 (Fig. 5): testbed experiments.
+
+The testbed is three Tofino switches in a line with a sender and a
+receiver at the edges.  2-10 real programs (switch.p4 feature slices)
+are deployed concurrently by every framework; we report, per framework
+and program count:
+
+* (a) per-packet byte overhead — the max metadata between any pair of
+  testbed switches;
+* (b) execution time of the deployment decision;
+* (c)/(d) normalized FCT and goodput of a flow crossing the testbed
+  carrying that overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import DeploymentFramework
+from repro.experiments.harness import (
+    DeploymentRecord,
+    default_frameworks,
+    run_deployment_suite,
+)
+from repro.experiments.reporting import Table
+from repro.network.generators import linear_topology
+from repro.network.topology import Network
+from repro.workloads.switchp4 import real_programs
+
+#: The paper sweeps 2..10 concurrent programs.
+PROGRAM_COUNTS = (2, 4, 6, 8, 10)
+
+
+def testbed_network() -> Network:
+    """Three 32x100G Tofino-like switches in a line (§VI-A)."""
+    return linear_topology(3, programmable=True, link_latency_ms=0.001)
+
+
+@dataclass
+class Exp1Point:
+    """One (framework, #programs) cell of Fig. 5."""
+
+    num_programs: int
+    record: DeploymentRecord
+
+
+def run(
+    program_counts: Sequence[int] = PROGRAM_COUNTS,
+    frameworks: Optional[Sequence[DeploymentFramework]] = None,
+    packet_payload_bytes: int = 1024,
+) -> List[Exp1Point]:
+    """Deploy 2-10 real programs on the 3-switch testbed."""
+    points: List[Exp1Point] = []
+    for count in program_counts:
+        programs = real_programs(count)
+        network = testbed_network()
+        records = run_deployment_suite(
+            programs,
+            network,
+            frameworks=(
+                list(frameworks)
+                if frameworks is not None
+                else default_frameworks(
+                    ilp_time_limit_s=20.0, per_program_ilp_time_limit_s=2.0
+                )
+            ),
+            packet_payload_bytes=packet_payload_bytes,
+        )
+        for record in records.values():
+            points.append(Exp1Point(count, record))
+    return points
+
+
+def _pivot(
+    points: List[Exp1Point], attr: str, title: str, fmt=lambda v: v
+) -> Table:
+    counts = sorted({p.num_programs for p in points})
+    names: List[str] = []
+    for p in points:
+        if p.record.framework not in names:
+            names.append(p.record.framework)
+    table = Table(title, ["framework"] + [f"n={c}" for c in counts])
+    for name in names:
+        row: List = [name]
+        for count in counts:
+            cell = next(
+                p.record
+                for p in points
+                if p.record.framework == name and p.num_programs == count
+            )
+            row.append(fmt(getattr(cell, attr)))
+        table.add_row(row)
+    return table
+
+
+def main(points: Optional[List[Exp1Point]] = None) -> str:
+    """Print Fig. 5(a)-(d) as four tables."""
+    points = points if points is not None else run()
+    out = [
+        _pivot(points, "overhead_bytes", "Fig. 5(a): per-packet byte overhead (B)"),
+        _pivot(
+            points,
+            "reported_time_ms",
+            "Fig. 5(b): execution time (ms; 1e7 = exceeded limit)",
+        ),
+        _pivot(points, "fct_ratio", "Fig. 5(c): normalized FCT"),
+        _pivot(points, "goodput_ratio", "Fig. 5(d): normalized goodput"),
+    ]
+    output = "\n\n".join(t.render() for t in out)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

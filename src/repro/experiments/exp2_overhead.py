@@ -1,0 +1,111 @@
+"""Exp#2 (Fig. 6): per-packet byte overhead in the large-scale simulation.
+
+50 concurrent programs (the 10 real switch.p4 slices plus 40 synthetic
+programs with the §VI-A distribution) are deployed on each of the ten
+Table III WAN topologies; the per-packet byte overhead of every
+framework is reported per topology.
+
+Exp#3 (execution time) and Exp#4 (end-to-end impact) read the same runs,
+so :func:`run` is shared by all three experiment modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import DeploymentFramework
+from repro.experiments.harness import (
+    DeploymentRecord,
+    default_frameworks,
+    run_deployment_suite,
+)
+from repro.experiments.reporting import Table
+from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
+from repro.workloads.switchp4 import real_programs
+from repro.workloads.synthetic import synthetic_programs
+
+NUM_PROGRAMS = 50
+TOPOLOGY_IDS = tuple(sorted(TABLE_III_TOPOLOGIES))
+
+
+def workload(num_programs: int = NUM_PROGRAMS, seed: int = 7):
+    """The Exp#2 workload: 10 real programs + synthetic fill."""
+    reals = real_programs(min(num_programs, 10))
+    remainder = max(num_programs - len(reals), 0)
+    return reals + synthetic_programs(remainder, seed=seed)
+
+
+@dataclass
+class Exp2Point:
+    """One (framework, topology) cell of Figs. 6-8."""
+
+    topology_id: int
+    record: DeploymentRecord
+
+
+def run(
+    topology_ids: Sequence[int] = TOPOLOGY_IDS,
+    num_programs: int = NUM_PROGRAMS,
+    frameworks: Optional[Sequence[DeploymentFramework]] = None,
+    seed: int = 7,
+    ilp_time_limit_s: float = 10.0,
+) -> List[Exp2Point]:
+    """Deploy the 50-program workload on each selected topology."""
+    programs = workload(num_programs, seed)
+    points: List[Exp2Point] = []
+    for topology_id in topology_ids:
+        network = topology_zoo_wan(topology_id)
+        records = run_deployment_suite(
+            programs,
+            network,
+            frameworks=(
+                list(frameworks)
+                if frameworks is not None
+                else default_frameworks(
+                    ilp_time_limit_s=ilp_time_limit_s,
+                    per_program_ilp_time_limit_s=max(
+                        ilp_time_limit_s / 20.0, 0.2
+                    ),
+                )
+            ),
+        )
+        for record in records.values():
+            points.append(Exp2Point(topology_id, record))
+    return points
+
+
+def pivot(
+    points: List[Exp2Point], attr: str, title: str
+) -> Table:
+    """Framework x topology table of one record attribute."""
+    ids = sorted({p.topology_id for p in points})
+    names: List[str] = []
+    for p in points:
+        if p.record.framework not in names:
+            names.append(p.record.framework)
+    table = Table(title, ["framework"] + [f"topo{t}" for t in ids])
+    for name in names:
+        row: List = [name]
+        for topology_id in ids:
+            record = next(
+                p.record
+                for p in points
+                if p.record.framework == name and p.topology_id == topology_id
+            )
+            row.append(getattr(record, attr))
+        table.add_row(row)
+    return table
+
+
+def main(points: Optional[List[Exp2Point]] = None) -> str:
+    points = points if points is not None else run()
+    output = pivot(
+        points, "overhead_bytes", "Fig. 6: per-packet byte overhead (B)"
+    ).render()
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

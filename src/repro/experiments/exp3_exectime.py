@@ -1,0 +1,29 @@
+"""Exp#3 (Fig. 7): execution time in the large-scale simulation.
+
+Reads the same runs as Exp#2 and reports each framework's placement
+time per topology.  Following the paper's rendering, ILP runs that
+exceeded their budget are reported as the off-scale ``1e7`` ms bar.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.exp2_overhead import Exp2Point, pivot, run
+
+__all__ = ["run", "main"]
+
+
+def main(points: Optional[List[Exp2Point]] = None) -> str:
+    points = points if points is not None else run()
+    output = pivot(
+        points,
+        "reported_time_ms",
+        "Fig. 7: execution time (ms; 1e7 = exceeded limit)",
+    ).render()
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

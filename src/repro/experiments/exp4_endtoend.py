@@ -1,0 +1,29 @@
+"""Exp#4 (Fig. 8): impact on end-to-end performance at scale.
+
+Reads the Exp#2 runs and reports the FCT and goodput of 1024-byte
+packets (the paper's setting) carrying each framework's measured
+overhead, normalized against the metadata-free flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.exp2_overhead import Exp2Point, pivot, run
+
+__all__ = ["run", "main"]
+
+
+def main(points: Optional[List[Exp2Point]] = None) -> str:
+    points = points if points is not None else run()
+    fct = pivot(points, "fct_ratio", "Fig. 8(a): normalized FCT (1024B packets)")
+    goodput = pivot(
+        points, "goodput_ratio", "Fig. 8(b): normalized goodput (1024B packets)"
+    )
+    output = fct.render() + "\n\n" + goodput.render()
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Exp#5 (Fig. 9): scalability with the number of concurrent programs.
+
+Deploys 10-50 programs on Table III topology 10 and reports, per
+framework and program count, the per-packet overhead, execution time,
+and the end-to-end impact — the four panels of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import DeploymentFramework
+from repro.experiments.exp2_overhead import workload
+from repro.experiments.harness import (
+    DeploymentRecord,
+    default_frameworks,
+    run_deployment_suite,
+)
+from repro.experiments.reporting import Table
+from repro.network.topozoo import topology_zoo_wan
+
+PROGRAM_COUNTS = (10, 20, 30, 40, 50)
+TOPOLOGY_ID = 10
+
+
+@dataclass
+class Exp5Point:
+    num_programs: int
+    record: DeploymentRecord
+
+
+def run(
+    program_counts: Sequence[int] = PROGRAM_COUNTS,
+    topology_id: int = TOPOLOGY_ID,
+    frameworks: Optional[Sequence[DeploymentFramework]] = None,
+    seed: int = 7,
+    ilp_time_limit_s: float = 10.0,
+) -> List[Exp5Point]:
+    points: List[Exp5Point] = []
+    for count in program_counts:
+        programs = workload(count, seed)
+        network = topology_zoo_wan(topology_id)
+        records = run_deployment_suite(
+            programs,
+            network,
+            frameworks=(
+                list(frameworks)
+                if frameworks is not None
+                else default_frameworks(
+                    ilp_time_limit_s=ilp_time_limit_s,
+                    per_program_ilp_time_limit_s=max(
+                        ilp_time_limit_s / 20.0, 0.2
+                    ),
+                )
+            ),
+        )
+        for record in records.values():
+            points.append(Exp5Point(count, record))
+    return points
+
+
+def _pivot(points: List[Exp5Point], attr: str, title: str) -> Table:
+    counts = sorted({p.num_programs for p in points})
+    names: List[str] = []
+    for p in points:
+        if p.record.framework not in names:
+            names.append(p.record.framework)
+    table = Table(title, ["framework"] + [f"n={c}" for c in counts])
+    for name in names:
+        row: List = [name]
+        for count in counts:
+            record = next(
+                p.record
+                for p in points
+                if p.record.framework == name and p.num_programs == count
+            )
+            row.append(getattr(record, attr))
+        table.add_row(row)
+    return table
+
+
+def main(points: Optional[List[Exp5Point]] = None) -> str:
+    points = points if points is not None else run()
+    tables = [
+        _pivot(points, "overhead_bytes", "Fig. 9(a): per-packet byte overhead (B)"),
+        _pivot(
+            points,
+            "reported_time_ms",
+            "Fig. 9(b): execution time (ms; 1e7 = exceeded limit)",
+        ),
+        _pivot(points, "fct_ratio", "Fig. 9(c): normalized FCT"),
+        _pivot(points, "goodput_ratio", "Fig. 9(d): normalized goodput"),
+    ]
+    output = "\n\n".join(t.render() for t in tables)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

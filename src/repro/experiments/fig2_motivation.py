@@ -1,0 +1,96 @@
+"""Fig. 2: impact of the per-packet byte overhead on FCT and goodput.
+
+Reproduces the §II-B motivation experiment: a flow of fixed-size
+packets crosses five switch hops; metadata of 28-108 bytes is added to
+every packet; FCT and goodput are reported normalized against the
+metadata-free run.  Packet sizes follow the paper: 512 B (DCN traffic),
+1024 B (RDMA MTU) and 1500 B (Ethernet MTU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.harness import E2E_HOPS
+from repro.experiments.reporting import Table
+from repro.simulation.flow import Flow
+from repro.simulation.metrics import normalized_against
+from repro.simulation.netsim import FlowSimulator, analytic_fct, uniform_path
+from repro.simulation.packet import BASE_HEADER_BYTES
+
+#: The paper's sweep: 28 to 108 bytes.
+OVERHEAD_SWEEP = (28, 48, 68, 88, 108)
+PACKET_SIZES = (512, 1024, 1500)
+
+
+@dataclass
+class Fig2Row:
+    """One point of Fig. 2."""
+
+    packet_size: int
+    overhead_bytes: int
+    fct_ratio: float
+    goodput_ratio: float
+
+
+def run(
+    overheads: Sequence[int] = OVERHEAD_SWEEP,
+    packet_sizes: Sequence[int] = PACKET_SIZES,
+    message_bytes: int = 1_000_000,
+    hops: int = E2E_HOPS,
+    use_des: bool = False,
+) -> List[Fig2Row]:
+    """Run the sweep; ``use_des`` switches from the closed form to the
+    packet-level discrete-event simulator (slower, identical shape)."""
+    path = uniform_path(hops)
+    simulator = FlowSimulator(path)
+    rows: List[Fig2Row] = []
+    for packet_size in packet_sizes:
+        payload = max(packet_size - BASE_HEADER_BYTES, 1)
+        baseline_flow = Flow(0, message_bytes, payload, overhead_bytes=0)
+        baseline = (
+            simulator.run(baseline_flow)
+            if use_des
+            else analytic_fct(baseline_flow, path)
+        )
+        for overhead in overheads:
+            flow = Flow(1, message_bytes, payload, overhead_bytes=overhead)
+            metrics = (
+                simulator.run(flow) if use_des else analytic_fct(flow, path)
+            )
+            norm = normalized_against(metrics, baseline)
+            rows.append(
+                Fig2Row(
+                    packet_size=packet_size,
+                    overhead_bytes=overhead,
+                    fct_ratio=norm.fct_ratio,
+                    goodput_ratio=norm.goodput_ratio,
+                )
+            )
+    return rows
+
+
+def main() -> str:
+    """Print the Fig. 2 series as two tables (FCT and goodput)."""
+    rows = run()
+    fct = Table(
+        "Fig. 2(a): normalized FCT vs per-packet overhead",
+        ["overhead(B)"] + [f"{s}B pkts" for s in PACKET_SIZES],
+    )
+    goodput = Table(
+        "Fig. 2(b): normalized goodput vs per-packet overhead",
+        ["overhead(B)"] + [f"{s}B pkts" for s in PACKET_SIZES],
+    )
+    for overhead in OVERHEAD_SWEEP:
+        per_size = [r for r in rows if r.overhead_bytes == overhead]
+        per_size.sort(key=lambda r: r.packet_size)
+        fct.add_row([overhead] + [r.fct_ratio for r in per_size])
+        goodput.add_row([overhead] + [r.goodput_ratio for r in per_size])
+    output = fct.render() + "\n\n" + goodput.render()
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Plain-text tables and series for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+class Table:
+    """A fixed-width text table (the shape the paper's figures report).
+
+    Usage:
+        table = Table("Exp#2", ["topology", "Hermes", "FFL"])
+        table.add_row([1, 24, 156])
+        print(table.render())
+    """
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        rendered = [_render(c) for c in cells]
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+        divider = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, divider, line(self.headers), divider]
+        out.extend(line(row) for row in self.rows)
+        out.append(divider)
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_series(name: str, values: Sequence[Cell]) -> str:
+    """One named series on one line: ``name: v1, v2, ...``."""
+    return f"{name}: " + ", ".join(_render(v) for v in values)

@@ -1,0 +1,22 @@
+"""Optional extensions beyond the paper's core contribution.
+
+* :mod:`repro.extensions.pint` — PINT-style probabilistic bounding of
+  the per-packet byte overhead (Ben Basat et al., SIGCOMM'20), which
+  the paper names as complementary to Hermes: instead of shrinking the
+  metadata through placement, PINT caps the bytes each packet carries
+  and amortizes delivery over many packets.
+"""
+
+from repro.extensions.pint import (
+    PintChannel,
+    PintCollector,
+    coupon_collector_packets,
+    simulate_coverage,
+)
+
+__all__ = [
+    "PintChannel",
+    "PintCollector",
+    "coupon_collector_packets",
+    "simulate_coverage",
+]

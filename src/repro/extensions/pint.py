@@ -1,0 +1,212 @@
+"""PINT-style probabilistic overhead bounding.
+
+PINT (Probabilistic In-band Network Telemetry) observes that per-packet
+metadata need not ride on *every* packet: if each packet carries a
+small, hash-selected subset of the values, a collector reconstructs the
+full picture over a window of packets.  The per-packet byte overhead
+becomes a hard user-chosen budget; the price is *delivery latency* —
+the number of packets until every value has been seen (a coupon
+collector process).
+
+The paper positions PINT as complementary to Hermes: Hermes shrinks
+what must be shipped; PINT bounds what each individual packet carries.
+This module implements the value-sampling mechanism over Hermes'
+coordination channels so the combination can be measured:
+
+    channel = CoordinationAnalysis(plan).channel("s3", "s7")
+    pint = PintChannel(channel, budget_bytes=8)
+    for pkt_id in range(200):
+        samples = pint.encode(pkt_id, values)
+        collector.observe(pkt_id, samples)
+
+Determinism: the field subset for packet ``p`` is chosen by ranking
+fields on ``crc32(p, field)`` — both the switch (encoder) and the
+collector can recompute it, so samples need no field identifiers on the
+wire beyond the packet id the transport already carries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.coordination import MetadataChannel
+
+
+def _selection_hash(packet_id: int, field_name: str) -> int:
+    data = packet_id.to_bytes(8, "big", signed=False) + field_name.encode()
+    return zlib.crc32(data)
+
+
+def coupon_collector_packets(num_fields: int, per_packet: int) -> float:
+    """Expected packets until every field has been carried at least once.
+
+    With ``k`` of ``n`` fields sampled uniformly per packet, the
+    expected completion time is ``(n/k) * H_n`` (the classic coupon
+    collector scaled by the batch size).
+    """
+    if num_fields <= 0:
+        return 0.0
+    if per_packet <= 0:
+        return math.inf
+    if per_packet >= num_fields:
+        return 1.0
+    harmonic = sum(1.0 / i for i in range(1, num_fields + 1))
+    return (num_fields / per_packet) * harmonic
+
+
+@dataclass(frozen=True)
+class PintSample:
+    """One sampled value on the wire."""
+
+    field_name: str
+    value: int
+
+
+class PintChannel:
+    """A coordination channel under a per-packet byte budget.
+
+    Args:
+        channel: The deterministic channel being bounded.
+        budget_bytes: Hard per-packet metadata budget.  Must admit at
+            least the largest single field.
+    """
+
+    def __init__(
+        self, channel: MetadataChannel, budget_bytes: int
+    ) -> None:
+        self.channel = channel
+        self.fields: List = [f for f, _off in channel.layout]
+        if not self.fields:
+            raise ValueError("channel carries no metadata to bound")
+        largest = max(f.size_bytes for f in self.fields)
+        if budget_bytes < largest:
+            raise ValueError(
+                f"budget {budget_bytes}B cannot fit the largest field "
+                f"({largest}B)"
+            )
+        self.budget_bytes = budget_bytes
+
+    @property
+    def full_bytes(self) -> int:
+        """What the unbounded channel ships per packet."""
+        return self.channel.layout_bytes
+
+    def select_fields(self, packet_id: int) -> List:
+        """The hash-selected field subset for one packet.
+
+        Greedy by selection hash, packing fields while the budget
+        holds; both ends compute the same answer.
+        """
+        ranked = sorted(
+            self.fields,
+            key=lambda f: _selection_hash(packet_id, f.name),
+        )
+        chosen: List = []
+        remaining = self.budget_bytes
+        for fld in ranked:
+            if fld.size_bytes <= remaining:
+                chosen.append(fld)
+                remaining -= fld.size_bytes
+        return chosen
+
+    def encode(
+        self, packet_id: int, values: Mapping[str, int]
+    ) -> List[PintSample]:
+        """Samples this packet carries (its wire cost <= budget)."""
+        samples = []
+        for fld in self.select_fields(packet_id):
+            if fld.name not in values:
+                raise KeyError(
+                    f"no value for selected field {fld.name!r}"
+                )
+            samples.append(PintSample(fld.name, values[fld.name]))
+        return samples
+
+    def wire_bytes(self, packet_id: int) -> int:
+        return sum(f.size_bytes for f in self.select_fields(packet_id))
+
+    def expected_completion_packets(self) -> float:
+        """Coupon-collector estimate of packets to cover every field."""
+        sizes = [f.size_bytes for f in self.fields]
+        avg_per_packet = max(
+            1, self.budget_bytes // max(min(sizes), 1)
+        )
+        per_packet = min(avg_per_packet, len(self.fields))
+        return coupon_collector_packets(len(self.fields), per_packet)
+
+
+class PintCollector:
+    """Reconstructs channel values from sampled packets."""
+
+    def __init__(self, channel: PintChannel) -> None:
+        self.channel = channel
+        self._observed: Dict[str, int] = {}
+        self.packets_seen = 0
+        self.completion_packet: Optional[int] = None
+
+    def observe(
+        self, packet_id: int, samples: Iterable[PintSample]
+    ) -> None:
+        self.packets_seen += 1
+        for sample in samples:
+            self._observed[sample.field_name] = sample.value
+        if (
+            self.completion_packet is None
+            and len(self._observed) == len(self.channel.fields)
+        ):
+            self.completion_packet = self.packets_seen
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the channel's fields seen at least once."""
+        return len(self._observed) / len(self.channel.fields)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._observed) == len(self.channel.fields)
+
+    def value(self, field_name: str) -> int:
+        try:
+            return self._observed[field_name]
+        except KeyError:
+            raise KeyError(
+                f"field {field_name!r} not yet observed "
+                f"({self.coverage:.0%} coverage)"
+            ) from None
+
+
+def simulate_coverage(
+    channel: PintChannel,
+    values: Mapping[str, int],
+    num_packets: int,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+) -> Tuple[List[float], Optional[int]]:
+    """Drive ``num_packets`` through the bounded channel.
+
+    Args:
+        loss_rate: Probability that a packet (and its samples) is lost
+            before the collector sees it; losses stretch the coverage
+            curve, quantifying PINT's sensitivity to lossy paths.
+        seed: RNG seed for the loss process.
+
+    Returns:
+        (per-packet coverage curve, packet index of full coverage or
+        None if never completed).
+    """
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError("loss_rate must be in [0, 1)")
+    rng = random.Random(seed)
+    collector = PintCollector(channel)
+    curve: List[float] = []
+    for packet_id in range(num_packets):
+        if loss_rate and rng.random() < loss_rate:
+            collector.packets_seen += 1  # the wire carried it anyway
+        else:
+            collector.observe(packet_id, channel.encode(packet_id, values))
+        curve.append(collector.coverage)
+    return curve, collector.completion_packet

@@ -1,0 +1,33 @@
+"""Mixed-integer linear programming substrate.
+
+The paper solves its deployment problem P#1 with Gurobi.  Offline we
+build the same capability from first principles: a small modeling API
+(:class:`Model`, :class:`Var`, :class:`LinExpr`, :class:`Constraint`)
+and an exact solver — best-first branch & bound over LP relaxations
+solved by ``scipy.optimize.linprog`` (HiGHS).
+
+The solver is exact on the model it is given (it proves optimality via
+LP bounds), supports binary/integer/continuous variables, <=/>=/==
+constraints, minimization and maximization, time limits and incumbent
+callbacks.  It is deliberately a general-purpose component: both the
+Hermes "Optimal" configuration and every ILP-based baseline build their
+models against this API.
+"""
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Constraint, Model, Sense, Var, VarType
+from repro.milp.solution import Solution, SolveStatus
+from repro.milp.branch_bound import BranchBoundSolver, solve
+
+__all__ = [
+    "BranchBoundSolver",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "Var",
+    "VarType",
+    "solve",
+]

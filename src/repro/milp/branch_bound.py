@@ -1,0 +1,362 @@
+"""Exact MILP solving: best-first branch & bound over LP relaxations.
+
+Every node relaxes integrality and solves the LP with HiGHS (through
+``scipy.optimize.linprog``).  Fractional integral variables trigger two
+child nodes (floor / ceil bound splits); nodes whose LP bound cannot
+beat the incumbent are pruned.  A rounding heuristic at each node tries
+to promote the LP solution into an incumbent early, which tightens
+pruning dramatically on placement models where the relaxation is nearly
+integral.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.milp.model import Model, Var
+from repro.milp.solution import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+_OBJ_TOL = 1e-9
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tie: int
+    var_bounds: List[Tuple[float, float]] = field(compare=False)
+
+
+class BranchBoundSolver:
+    """Exact solver for :class:`~repro.milp.model.Model` instances.
+
+    Args:
+        time_limit_s: Wall-clock budget; on expiry the best incumbent is
+            returned with status FEASIBLE (or TIME_LIMIT if none).
+        node_limit: Hard cap on explored nodes.
+        gap_tolerance: Relative gap at which the search may stop early.
+    """
+
+    def __init__(
+        self,
+        time_limit_s: float = 300.0,
+        node_limit: int = 200_000,
+        gap_tolerance: float = 1e-6,
+    ) -> None:
+        if time_limit_s <= 0:
+            raise ValueError("time_limit_s must be positive")
+        self.time_limit_s = time_limit_s
+        self.node_limit = node_limit
+        self.gap_tolerance = gap_tolerance
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        model: Model,
+        initial: Optional[Dict[Var, float]] = None,
+    ) -> Solution:
+        """Solve ``model``; ``initial`` optionally warm-starts the search.
+
+        A feasible ``initial`` assignment becomes the first incumbent,
+        so the search starts with a pruning bound instead of hunting
+        for one; an infeasible assignment is silently ignored.
+        """
+        start = time.perf_counter()
+        c, a_ub, b_ub, a_eq, b_eq, root_bounds = model.to_arrays()
+        int_indices = [v.index for v in model.variables if v.is_integral]
+        sign = -1.0 if model.maximize_objective else 1.0
+
+        lbs = np.array([b[0] for b in root_bounds])
+        ubs = np.array([b[1] for b in root_bounds])
+        int_mask = np.zeros(len(root_bounds), dtype=bool)
+        int_mask[int_indices] = True
+
+        def feasible(x: np.ndarray, tol: float = 1e-6) -> bool:
+            """Vectorized feasibility of a candidate point."""
+            if ((x < lbs - tol) | (x > ubs + tol)).any():
+                return False
+            if int_mask.any():
+                xi = x[int_mask]
+                if (np.abs(xi - np.round(xi)) > tol).any():
+                    return False
+            if a_ub is not None and (a_ub @ x > b_ub + tol).any():
+                return False
+            if a_eq is not None and (np.abs(a_eq @ x - b_eq) > tol).any():
+                return False
+            return True
+
+        lp_solves = 0
+        nodes_explored = 0
+        incumbent: Optional[np.ndarray] = None
+        incumbent_obj = math.inf  # in minimize space
+
+        if initial is not None:
+            candidate = np.zeros(len(model.variables))
+            for var in model.variables:
+                candidate[var.index] = float(initial.get(var, 0.0))
+            for idx in int_indices:
+                candidate[idx] = round(candidate[idx])
+            if feasible(candidate):
+                incumbent = candidate
+                incumbent_obj = float(c @ candidate)
+
+        def lp(bounds: List[Tuple[float, float]]):
+            nonlocal lp_solves
+            lp_solves += 1
+            return linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method="highs",
+            )
+
+        root = lp(root_bounds)
+        if root.status == 2:
+            return Solution(
+                SolveStatus.INFEASIBLE,
+                lp_solves=lp_solves,
+                wall_time_s=time.perf_counter() - start,
+            )
+        if root.status == 3:
+            return Solution(
+                SolveStatus.UNBOUNDED,
+                lp_solves=lp_solves,
+                wall_time_s=time.perf_counter() - start,
+            )
+        if root.status != 0:  # pragma: no cover - numerical trouble
+            raise RuntimeError(f"LP solver failed: {root.message}")
+
+        deadline = start + self.time_limit_s
+
+        # Root dive: fix near-integral variables one at a time to seed
+        # an incumbent early — essential for models whose LP relaxation
+        # is weak (e.g. min-switch-count objectives).
+        dive = self._dive(
+            lp, root.x, root_bounds, int_indices, feasible, deadline, c
+        )
+        if dive is not None and dive[1] < incumbent_obj:
+            incumbent, incumbent_obj = dive
+
+        tie = itertools.count()
+        heap: List[_Node] = [_Node(root.fun, next(tie), root_bounds)]
+        # Cache the root LP solution so the first pop skips a re-solve.
+        cached: Dict[int, Tuple[np.ndarray, float]] = {
+            id(root_bounds): (root.x, root.fun)
+        }
+
+        best_bound = root.fun
+        timed_out = False
+
+        while heap:
+            if time.perf_counter() - start > self.time_limit_s:
+                timed_out = True
+                break
+            if nodes_explored >= self.node_limit:
+                timed_out = True
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - _OBJ_TOL:
+                continue  # pruned: cannot improve the incumbent
+            best_bound = min(node.bound, incumbent_obj)
+
+            hit = cached.pop(id(node.var_bounds), None)
+            if hit is not None:
+                x, obj = hit
+            else:
+                res = lp(node.var_bounds)
+                if res.status != 0:
+                    continue  # infeasible/unbounded subproblem
+                x, obj = res.x, res.fun
+            nodes_explored += 1
+            if obj >= incumbent_obj - _OBJ_TOL:
+                continue
+
+            frac_var = self._most_fractional(x, int_indices)
+            if frac_var is None:
+                # Integral LP optimum: new incumbent.
+                incumbent = x.copy()
+                incumbent_obj = obj
+                continue
+
+            # Periodic dive while no incumbent exists: weak relaxations
+            # can otherwise branch for the whole budget without ever
+            # reaching an integral vertex.
+            if incumbent is None and nodes_explored % 50 == 1:
+                dived = self._dive(
+                    lp, x, node.var_bounds, int_indices, feasible, deadline, c
+                )
+                if dived is not None:
+                    incumbent, incumbent_obj = dived
+
+            # Rounding heuristic: snap integral vars, re-check.
+            rounded = self._round_candidate(feasible, x, int_indices)
+            if rounded is not None:
+                r_obj = float(c @ rounded)
+                if r_obj < incumbent_obj - _OBJ_TOL:
+                    incumbent = rounded
+                    incumbent_obj = r_obj
+
+            value = x[frac_var]
+            for lo, hi in (
+                (node.var_bounds[frac_var][0], math.floor(value)),
+                (math.ceil(value), node.var_bounds[frac_var][1]),
+            ):
+                if lo > hi:
+                    continue
+                child_bounds = list(node.var_bounds)
+                child_bounds[frac_var] = (float(lo), float(hi))
+                res = lp(child_bounds)
+                if res.status != 0:
+                    continue
+                if res.fun >= incumbent_obj - _OBJ_TOL:
+                    continue
+                child = _Node(res.fun, next(tie), child_bounds)
+                cached[id(child_bounds)] = (res.x, res.fun)
+                heapq.heappush(heap, child)
+
+        wall = time.perf_counter() - start
+        if incumbent is None:
+            status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
+            return Solution(
+                status,
+                nodes_explored=nodes_explored,
+                lp_solves=lp_solves,
+                wall_time_s=wall,
+            )
+
+        values = {
+            var: (
+                float(round(incumbent[var.index]))
+                if var.is_integral
+                else float(incumbent[var.index])
+            )
+            for var in model.variables
+        }
+        gap = self._relative_gap(incumbent_obj, best_bound)
+        status = (
+            SolveStatus.FEASIBLE
+            if timed_out and heap
+            else SolveStatus.OPTIMAL
+        )
+        return Solution(
+            status,
+            objective=sign * incumbent_obj,
+            values=values,
+            nodes_explored=nodes_explored,
+            lp_solves=lp_solves,
+            wall_time_s=wall,
+            gap=0.0 if status is SolveStatus.OPTIMAL else gap,
+        )
+
+    # ------------------------------------------------------------------
+    def _dive(
+        self,
+        lp,
+        x0: np.ndarray,
+        root_bounds: List[Tuple[float, float]],
+        int_indices: List[int],
+        feasible,
+        deadline: Optional[float] = None,
+        c: Optional[np.ndarray] = None,
+    ) -> Optional[Tuple[np.ndarray, float]]:
+        """Iteratively fix the least-fractional variable and re-solve.
+
+        Returns ``(solution, objective)`` in minimize space when the
+        dive reaches an integral feasible point, else None.  Aborts
+        when ``deadline`` (perf_counter seconds) passes.
+        """
+        bounds = list(root_bounds)
+        x = x0
+        max_rounds = 60
+        for _step in range(max_rounds):
+            if deadline is not None and time.perf_counter() > deadline:
+                return None
+            fractional = [
+                idx
+                for idx in int_indices
+                if abs(x[idx] - round(x[idx])) > _INT_TOL
+            ]
+            if not fractional:
+                candidate = x.copy()
+                for idx in int_indices:
+                    candidate[idx] = round(candidate[idx])
+                if feasible(candidate):
+                    return candidate, float(c @ candidate)
+                return None
+            # Fix every already-integral variable plus the single
+            # least-fractional one, then re-solve: converges in a
+            # handful of LP rounds rather than one per variable.
+            for idx in int_indices:
+                if abs(x[idx] - round(x[idx])) <= _INT_TOL:
+                    value = float(round(x[idx]))
+                    lo, hi = bounds[idx]
+                    value = min(max(value, lo), hi)
+                    bounds[idx] = (value, value)
+            idx = min(fractional, key=lambda i: abs(x[i] - round(x[i])))
+            lo, hi = bounds[idx]
+            primary = min(max(float(round(x[idx])), lo), hi)
+            # Degenerate relaxations (e.g. min-switch-count) sit on
+            # plateaus where rounding toward zero is always infeasible;
+            # when the primary fix fails, try the other side before
+            # abandoning the dive.
+            fallback = math.ceil(x[idx]) if primary <= x[idx] else math.floor(x[idx])
+            fallback = min(max(float(fallback), lo), hi)
+            res = None
+            for value in dict.fromkeys((primary, fallback)):
+                bounds[idx] = (value, value)
+                res = lp(bounds)
+                if res.status == 0:
+                    break
+            if res is None or res.status != 0:
+                return None
+            x = res.x
+        return None
+
+    @staticmethod
+    def _most_fractional(
+        x: np.ndarray, int_indices: List[int]
+    ) -> Optional[int]:
+        """The integral variable farthest from an integer, or None."""
+        best_idx: Optional[int] = None
+        best_dist = _INT_TOL
+        for idx in int_indices:
+            dist = abs(x[idx] - round(x[idx]))
+            if dist > best_dist:
+                best_dist = dist
+                best_idx = idx
+        return best_idx
+
+    @staticmethod
+    def _round_candidate(
+        feasible, x: np.ndarray, int_indices: List[int]
+    ) -> Optional[np.ndarray]:
+        """Round integral vars of an LP point; keep it only if feasible."""
+        candidate = x.copy()
+        for idx in int_indices:
+            candidate[idx] = round(candidate[idx])
+        if feasible(candidate):
+            return candidate
+        return None
+
+    @staticmethod
+    def _relative_gap(incumbent: float, bound: float) -> Optional[float]:
+        if math.isinf(bound):
+            return None
+        denom = max(abs(incumbent), 1e-9)
+        return abs(incumbent - bound) / denom
+
+
+def solve(model: Model, time_limit_s: float = 300.0) -> Solution:
+    """Convenience wrapper: solve ``model`` with default settings."""
+    return BranchBoundSolver(time_limit_s=time_limit_s).solve(model)

@@ -1,0 +1,164 @@
+"""Linear expressions over model variables.
+
+A :class:`LinExpr` is an affine function ``sum(coef_i * var_i) + const``.
+Expressions support the natural arithmetic operators and comparison
+operators that yield :class:`~repro.milp.model.Constraint` objects, so
+model-building code reads like the math in the paper:
+
+    model.add_constr(x + 2 * y <= 10)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.milp.model import Constraint, Var
+
+Number = Union[int, float]
+
+
+class LinExpr:
+    """An affine expression ``sum coef * var + constant``."""
+
+    __slots__ = ("coefs", "constant")
+
+    def __init__(
+        self,
+        coefs: Mapping["Var", float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        self.coefs: Dict["Var", float] = dict(coefs or {})
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_term(var: "Var", coef: float = 1.0) -> "LinExpr":
+        return LinExpr({var: float(coef)})
+
+    @staticmethod
+    def total(terms: Iterable[Union["LinExpr", "Var", Number]]) -> "LinExpr":
+        """Sum an iterable of expressions/variables/numbers.
+
+        Accumulates into one coefficient dict (O(total nonzeros)); the
+        operator chain ``a + b + c`` would copy the accumulator at each
+        step, which is quadratic and ruinous for the 10^5-term
+        expressions deployment models produce.
+        """
+        from repro.milp.model import Var
+
+        coefs: Dict["Var", float] = {}
+        constant = 0.0
+        for term in terms:
+            if isinstance(term, LinExpr):
+                for var, coef in term.coefs.items():
+                    coefs[var] = coefs.get(var, 0.0) + coef
+                constant += term.constant
+            elif isinstance(term, Var):
+                coefs[term] = coefs.get(term, 0.0) + 1.0
+            elif isinstance(term, (int, float)):
+                constant += term
+            else:
+                raise TypeError(
+                    f"cannot sum term of type {type(term).__name__}"
+                )
+        return LinExpr(coefs, constant)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coefs), self.constant)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        from repro.milp.model import Var
+
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Var):
+            return LinExpr.from_term(other)
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        out = self.copy()
+        for var, coef in rhs.coefs.items():
+            out.coefs[var] = out.coefs.get(var, 0.0) + coef
+        out.constant += rhs.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return self + (rhs * -1.0)
+
+    def __rsub__(self, other: Union["LinExpr", "Var", Number]) -> "LinExpr":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented
+        return rhs + (self * -1.0)
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise TypeError(
+                "LinExpr supports multiplication by scalars only; "
+                "linearize products of variables explicitly"
+            )
+        return LinExpr(
+            {v: c * factor for v, c in self.coefs.items()},
+            self.constant * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, factor: Number) -> "LinExpr":
+        return self * (1.0 / factor)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # ------------------------------------------------------------------
+    # Comparisons -> constraints
+    # ------------------------------------------------------------------
+    def __le__(self, other: Union["LinExpr", "Var", Number]) -> "Constraint":
+        from repro.milp.model import Constraint, Sense
+
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other: Union["LinExpr", "Var", Number]) -> "Constraint":
+        from repro.milp.model import Constraint, Sense
+
+        return Constraint(self - other, Sense.GE)
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        from repro.milp.model import Constraint, Sense, Var
+
+        if isinstance(other, (LinExpr, Var, int, float)):
+            return Constraint(self - other, Sense.EQ)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def value(self, assignment: Mapping["Var", float]) -> float:
+        """Evaluate under a variable assignment."""
+        return self.constant + sum(
+            coef * assignment[var] for var, coef in self.coefs.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"{c:+g}*{v.name}" for v, c in self.coefs.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)

@@ -1,0 +1,66 @@
+"""Solver results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.milp.model import Var
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # time limit hit with an incumbent in hand
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"  # time limit hit with no incumbent
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """The outcome of solving a model.
+
+    Attributes:
+        status: Terminal solver status.
+        objective: Objective value of the incumbent (in the model's own
+            sense, i.e. un-negated for maximization); None if no
+            incumbent.
+        values: Variable assignment of the incumbent.
+        nodes_explored: Branch & bound nodes processed.
+        lp_solves: LP relaxations solved.
+        wall_time_s: Wall-clock solve time.
+        gap: Relative optimality gap of the incumbent (0.0 when proven
+            optimal; None when unknown).
+    """
+
+    status: SolveStatus
+    objective: Optional[float] = None
+    values: Dict[Var, float] = field(default_factory=dict)
+    nodes_explored: int = 0
+    lp_solves: int = 0
+    wall_time_s: float = 0.0
+    gap: Optional[float] = None
+
+    def __getitem__(self, var: Var) -> float:
+        return self.values[var]
+
+    def value(self, var: Var, default: float = 0.0) -> float:
+        return self.values.get(var, default)
+
+    def rounded(self, var: Var) -> int:
+        """Integer value of an integral variable in the incumbent."""
+        return int(round(self.values[var]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        obj = f"{self.objective:.6g}" if self.objective is not None else "-"
+        return (
+            f"Solution({self.status.value}, obj={obj}, "
+            f"nodes={self.nodes_explored}, time={self.wall_time_s:.3f}s)"
+        )

@@ -1,0 +1,38 @@
+"""Substrate network model.
+
+Models the network Hermes deploys onto: an undirected graph
+``G = (V_G, E_G)`` of switches and links.  Each switch carries the four
+properties the paper uses — programmability ``P(u)``, stage count
+``C_stage``, per-stage resource capacity ``C_res`` and transmission
+latency ``t_s(u)`` — and each link carries its latency ``t_l(u, v)``.
+
+The package also provides path enumeration (``P(u, v)`` with latency
+``t_p(p)``) and topology generators: the linear testbed, fat-trees,
+seeded random WANs, and the ten Table III WAN topologies.
+"""
+
+from repro.network.switch import Switch, DEFAULT_NUM_STAGES, DEFAULT_STAGE_CAPACITY
+from repro.network.topology import Link, Network
+from repro.network.paths import Path, PathEnumerator, shortest_path
+from repro.network.generators import (
+    fat_tree,
+    linear_topology,
+    random_wan,
+)
+from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
+
+__all__ = [
+    "DEFAULT_NUM_STAGES",
+    "DEFAULT_STAGE_CAPACITY",
+    "Link",
+    "Network",
+    "Path",
+    "PathEnumerator",
+    "Switch",
+    "TABLE_III_TOPOLOGIES",
+    "fat_tree",
+    "linear_topology",
+    "random_wan",
+    "shortest_path",
+    "topology_zoo_wan",
+]

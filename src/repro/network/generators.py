@@ -1,0 +1,166 @@
+"""Topology generators.
+
+Three generators cover the paper's settings:
+
+* :func:`linear_topology` — the 3-switch Tofino testbed (Exp#1) and the
+  2-port loopback setup of the motivation experiment;
+* :func:`fat_tree` — the canonical DCN topology referenced in §II;
+* :func:`random_wan` — seeded random connected WANs with the paper's
+  property distribution (50% programmable switches, ``t_s = 1 µs``,
+  ``t_l`` uniform in 1–10 ms).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.switch import (
+    DEFAULT_NUM_STAGES,
+    DEFAULT_STAGE_CAPACITY,
+    Switch,
+)
+from repro.network.topology import Network
+
+#: Paper settings (§VI-A): switch latency 1 µs, link latency 1–10 ms.
+WAN_SWITCH_LATENCY_US = 1.0
+WAN_LINK_LATENCY_RANGE_MS = (1.0, 10.0)
+WAN_PROGRAMMABLE_FRACTION = 0.5
+
+
+def linear_topology(
+    num_switches: int = 3,
+    programmable: bool = True,
+    link_latency_ms: float = 0.001,
+    num_stages: int = DEFAULT_NUM_STAGES,
+    stage_capacity: float = DEFAULT_STAGE_CAPACITY,
+    name: str = "linear",
+) -> Network:
+    """A chain ``s0 - s1 - ... - s{n-1}`` of identical switches.
+
+    Defaults model the testbed: Tofino switches joined by short 100 Gbps
+    links (1 µs link latency).
+    """
+    if num_switches <= 0:
+        raise ValueError("need at least one switch")
+    net = Network(name)
+    for i in range(num_switches):
+        net.add_switch(
+            Switch(
+                f"s{i}",
+                programmable=programmable,
+                num_stages=num_stages,
+                stage_capacity=stage_capacity,
+            )
+        )
+    for i in range(num_switches - 1):
+        net.connect(f"s{i}", f"s{i + 1}", latency_ms=link_latency_ms)
+    return net
+
+
+def fat_tree(k: int = 4, name: Optional[str] = None) -> Network:
+    """A ``k``-ary fat-tree (k even): core, aggregation and edge layers.
+
+    Edge and aggregation switches are programmable; core switches are
+    fixed-function, reflecting deployments that upgrade the lower tiers
+    first.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be a positive even number")
+    net = Network(name or f"fat_tree_k{k}")
+    half = k // 2
+    num_core = half * half
+
+    core = [f"core{i}" for i in range(num_core)]
+    for c in core:
+        net.add_switch(Switch(c, programmable=False))
+    for pod in range(k):
+        aggs = [f"pod{pod}_agg{i}" for i in range(half)]
+        edges = [f"pod{pod}_edge{i}" for i in range(half)]
+        for a in aggs:
+            net.add_switch(Switch(a, programmable=True))
+        for e in edges:
+            net.add_switch(Switch(e, programmable=True))
+        for a in aggs:
+            for e in edges:
+                net.connect(a, e, latency_ms=0.001)
+        for i, a in enumerate(aggs):
+            for j in range(half):
+                net.connect(a, core[i * half + j], latency_ms=0.001)
+    return net
+
+
+def random_wan(
+    num_nodes: int,
+    num_edges: int,
+    seed: int = 0,
+    programmable_fraction: float = WAN_PROGRAMMABLE_FRACTION,
+    num_stages: int = DEFAULT_NUM_STAGES,
+    stage_capacity: float = DEFAULT_STAGE_CAPACITY,
+    name: Optional[str] = None,
+) -> Network:
+    """A seeded random connected WAN with the paper's property settings.
+
+    Construction: a random spanning tree guarantees connectivity, then
+    extra random edges are added up to ``num_edges``.  A random 50%
+    (by default) of switches are made programmable with Tofino-like
+    stage counts; link latencies are uniform in 1–10 ms.
+
+    Args:
+        num_nodes: ``|V_G|``.
+        num_edges: ``|E_G|``; must be at least ``num_nodes - 1`` and at
+            most the complete-graph edge count.
+        seed: RNG seed — same seed, same topology.
+        programmable_fraction: Fraction of programmable switches; at
+            least one switch is always programmable.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    min_edges = max(num_nodes - 1, 0)
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if not min_edges <= num_edges <= max_edges:
+        raise ValueError(
+            f"num_edges must be in [{min_edges}, {max_edges}] for "
+            f"{num_nodes} nodes, got {num_edges}"
+        )
+    rng = random.Random(seed)
+    net = Network(name or f"wan_{num_nodes}n_{num_edges}e_seed{seed}")
+
+    names = [f"w{i}" for i in range(num_nodes)]
+    num_prog = max(1, round(num_nodes * programmable_fraction))
+    programmable = set(rng.sample(names, num_prog))
+    for node in names:
+        net.add_switch(
+            Switch(
+                node,
+                programmable=node in programmable,
+                num_stages=num_stages,
+                stage_capacity=stage_capacity,
+                latency_us=WAN_SWITCH_LATENCY_US,
+            )
+        )
+
+    def _latency() -> float:
+        lo, hi = WAN_LINK_LATENCY_RANGE_MS
+        return rng.uniform(lo, hi)
+
+    # Random spanning tree (random-order Prim): connect each new node to
+    # a random already-connected node.
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    connected = [shuffled[0]]
+    for node in shuffled[1:]:
+        peer = rng.choice(connected)
+        net.connect(node, peer, latency_ms=_latency())
+        connected.append(node)
+
+    # Extra edges.
+    attempts = 0
+    while net.num_links < num_edges:
+        u, v = rng.sample(names, 2)
+        if not net.has_link(u, v):
+            net.connect(u, v, latency_ms=_latency())
+        attempts += 1
+        if attempts > 100 * num_edges:  # pragma: no cover - safety valve
+            raise RuntimeError("edge sampling failed to converge")
+    return net

@@ -1,0 +1,67 @@
+"""Switch model.
+
+A switch is described by the four properties of §V-A:
+
+* ``programmable`` — ``P(u)``: whether MATs can be placed on it;
+* ``num_stages`` — ``C_stage``: pipeline stages (Tofino-like default);
+* ``stage_capacity`` — ``C_res``: per-stage resource capacity, expressed
+  in normalized stage fractions (a stage holds 1.0 units by default, and
+  MAT demands from :mod:`repro.dataplane.mat` are fractions of a stage);
+* ``latency_us`` — ``t_s(u)``: maximum transmission latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Tofino-like defaults used throughout the experiments.
+DEFAULT_NUM_STAGES = 12
+DEFAULT_STAGE_CAPACITY = 1.0
+DEFAULT_SWITCH_LATENCY_US = 1.0
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One network switch.
+
+    Attributes:
+        name: Unique switch name within its network.
+        programmable: ``P(u)`` — True for programmable switches.
+        num_stages: ``C_stage``; ignored for non-programmable switches.
+        stage_capacity: ``C_res`` in normalized stage units.
+        latency_us: ``t_s(u)`` in microseconds.
+        ports: Number of front-panel ports (informational; used by the
+            backend when emitting configurations).
+        port_speed_gbps: Per-port line rate.
+    """
+
+    name: str
+    programmable: bool = True
+    num_stages: int = DEFAULT_NUM_STAGES
+    stage_capacity: float = DEFAULT_STAGE_CAPACITY
+    latency_us: float = DEFAULT_SWITCH_LATENCY_US
+    ports: int = 32
+    port_speed_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("switch name must be non-empty")
+        if self.num_stages <= 0:
+            raise ValueError(f"switch {self.name!r}: num_stages must be positive")
+        if self.stage_capacity <= 0:
+            raise ValueError(
+                f"switch {self.name!r}: stage_capacity must be positive"
+            )
+        if self.latency_us < 0:
+            raise ValueError(f"switch {self.name!r}: latency must be >= 0")
+
+    @property
+    def total_capacity(self) -> float:
+        """``C_stage * C_res`` — the whole-pipeline resource budget."""
+        if not self.programmable:
+            return 0.0
+        return self.num_stages * self.stage_capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "P4" if self.programmable else "fixed"
+        return f"Switch({self.name!r}, {kind}, {self.num_stages} stages)"

@@ -1,0 +1,192 @@
+"""Network topology: the undirected graph ``G = (V_G, E_G)``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.network.switch import Switch
+
+
+def _link_key(u: str, v: str) -> Tuple[str, str]:
+    """Canonical (sorted) endpoint pair for an undirected link."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected link with transmission latency ``t_l(u, v)``.
+
+    Attributes:
+        u, v: Endpoint switch names (stored canonically sorted).
+        latency_ms: One-way transmission latency in milliseconds.
+        bandwidth_gbps: Link capacity.
+    """
+
+    u: str
+    v: str
+    latency_ms: float = 1.0
+    bandwidth_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop link on {self.u!r}")
+        if self.latency_ms < 0:
+            raise ValueError("link latency must be >= 0")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        a, b = _link_key(self.u, self.v)
+        object.__setattr__(self, "u", a)
+        object.__setattr__(self, "v", b)
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ms * 1000.0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.u, self.v)
+
+    def other(self, name: str) -> str:
+        if name == self.u:
+            return self.v
+        if name == self.v:
+            return self.u
+        raise KeyError(f"{name!r} is not an endpoint of {self.key}")
+
+
+class Network:
+    """The substrate network.
+
+    Switches are added first, then links between them.  The class keeps
+    adjacency for path enumeration and exposes the property accessors
+    the optimization framework consumes.
+    """
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self._switches: Dict[str, Switch] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._adj: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, switch: Switch) -> None:
+        if switch.name in self._switches:
+            raise ValueError(f"duplicate switch {switch.name!r}")
+        self._switches[switch.name] = switch
+        self._adj[switch.name] = set()
+
+    def add_link(self, link: Link) -> None:
+        for endpoint in (link.u, link.v):
+            if endpoint not in self._switches:
+                raise KeyError(f"link references unknown switch {endpoint!r}")
+        if link.key in self._links:
+            raise ValueError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._adj[link.u].add(link.v)
+        self._adj[link.v].add(link.u)
+
+    def connect(
+        self,
+        u: str,
+        v: str,
+        latency_ms: float = 1.0,
+        bandwidth_gbps: float = 100.0,
+    ) -> Link:
+        """Convenience: create and add a link."""
+        link = Link(u, v, latency_ms, bandwidth_gbps)
+        self.add_link(link)
+        return link
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def switches(self) -> List[Switch]:
+        return list(self._switches.values())
+
+    @property
+    def switch_names(self) -> List[str]:
+        return list(self._switches)
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    @property
+    def num_switches(self) -> int:
+        """``Q = |V_G|``."""
+        return len(self._switches)
+
+    @property
+    def num_links(self) -> int:
+        """``N = |E_G|``."""
+        return len(self._links)
+
+    def switch(self, name: str) -> Switch:
+        try:
+            return self._switches[name]
+        except KeyError:
+            raise KeyError(
+                f"network {self.name!r} has no switch {name!r}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._switches
+
+    def __iter__(self) -> Iterator[Switch]:
+        return iter(self._switches.values())
+
+    def link(self, u: str, v: str) -> Link:
+        try:
+            return self._links[_link_key(u, v)]
+        except KeyError:
+            raise KeyError(f"no link between {u!r} and {v!r}") from None
+
+    def has_link(self, u: str, v: str) -> bool:
+        return _link_key(u, v) in self._links
+
+    def neighbors(self, name: str) -> Set[str]:
+        try:
+            return set(self._adj[name])
+        except KeyError:
+            raise KeyError(
+                f"network {self.name!r} has no switch {name!r}"
+            ) from None
+
+    def degree(self, name: str) -> int:
+        return len(self._adj[name])
+
+    def programmable_switches(self) -> List[Switch]:
+        """Switches with ``P(u) = 1``."""
+        return [s for s in self._switches.values() if s.programmable]
+
+    def programmable_names(self) -> List[str]:
+        return [s.name for s in self._switches.values() if s.programmable]
+
+    def is_connected(self) -> bool:
+        """Whether the whole graph is one connected component."""
+        if not self._switches:
+            return True
+        start = next(iter(self._switches))
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for nxt in self._adj[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return len(seen) == len(self._switches)
+
+    def total_programmable_capacity(self) -> float:
+        """Sum of pipeline budgets over all programmable switches."""
+        return sum(s.total_capacity for s in self.programmable_switches())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network({self.name!r}, {self.num_switches} switches, "
+            f"{self.num_links} links)"
+        )

@@ -1,0 +1,60 @@
+"""The ten Table III WAN topologies.
+
+The paper evaluates on ten real-world WAN topologies from the Internet
+Topology Zoo.  The zoo dataset is not available offline, so we generate
+seeded random WANs matching Table III's node/edge counts — only the
+graph structure enters the optimization, and the paper's own property
+settings (50% programmable, ``t_s = 1 µs``, ``t_l`` ~ U(1 ms, 10 ms))
+are applied on top, exactly as §VI-A describes.
+
+Two entries of the published table are adjusted/filled:
+
+* topology 5 is listed with 73 nodes and 70 edges, which cannot be
+  connected; we use 72 edges (a spanning tree plus no slack is the
+  closest connected graph);
+* topologies 6 and 8 are illegible in our copy of the table; we fill
+  them with counts interpolated from their neighbours (75/85, 71/88),
+  keeping all ten in the same size band as the legible entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.network.generators import random_wan
+from repro.network.topology import Network
+
+#: Table III: topology id -> (num_nodes, num_edges).
+TABLE_III_TOPOLOGIES: Dict[int, Tuple[int, int]] = {
+    1: (79, 94),
+    2: (70, 85),
+    3: (74, 80),
+    4: (66, 76),
+    5: (73, 72),  # adjusted from (73, 70) for connectivity
+    6: (75, 85),  # filled (illegible in source table)
+    7: (68, 92),
+    8: (71, 88),  # filled (illegible in source table)
+    9: (74, 92),
+    10: (69, 98),
+}
+
+
+def topology_zoo_wan(topology_id: int, seed_base: int = 1000) -> Network:
+    """Build Table III topology ``topology_id`` (1-10).
+
+    The RNG seed is derived from the topology id, so repeated calls
+    yield identical networks — required for the 100-run averaging in
+    the experiments to measure the same deployment problem each run.
+    """
+    try:
+        nodes, edges = TABLE_III_TOPOLOGIES[topology_id]
+    except KeyError:
+        raise ValueError(
+            f"topology_id must be 1..10, got {topology_id}"
+        ) from None
+    return random_wan(
+        nodes,
+        edges,
+        seed=seed_base + topology_id,
+        name=f"topozoo_{topology_id}",
+    )

@@ -1,0 +1,61 @@
+"""End-to-end transmission simulation.
+
+The paper's motivation (§II-B, Fig. 2) and end-to-end experiments
+(Exp#1/#4/#5) measure how the per-packet byte overhead degrades flow
+completion time (FCT) and goodput: metadata steals payload bytes from
+the MTU, so applications need more packets — and more wire bytes — per
+message.
+
+This package provides both:
+
+* a discrete-event, store-and-forward flow simulator
+  (:class:`FlowSimulator`) that transmits every packet hop by hop; and
+* a closed-form model (:func:`analytic_fct`) of the same pipeline,
+  cross-checked against the simulator in the test suite and used by
+  the large parameter sweeps.
+"""
+
+from repro.simulation.events import EventQueue, Simulator
+from repro.simulation.packet import Packet
+from repro.simulation.flow import Flow, packetize
+from repro.simulation.netsim import (
+    FlowSimulator,
+    HopSpec,
+    analytic_fct,
+    uniform_path,
+)
+from repro.simulation.metrics import FlowMetrics, normalized_against
+from repro.simulation.traces import (
+    TraceConfig,
+    TraceFlow,
+    TraceMetrics,
+    evaluate_trace,
+    generate_trace,
+)
+from repro.simulation.interpreter import (
+    ExecutionTrace,
+    MissingMetadataError,
+    PlanInterpreter,
+)
+
+__all__ = [
+    "EventQueue",
+    "ExecutionTrace",
+    "Flow",
+    "FlowMetrics",
+    "FlowSimulator",
+    "HopSpec",
+    "MissingMetadataError",
+    "Packet",
+    "PlanInterpreter",
+    "Simulator",
+    "TraceConfig",
+    "TraceFlow",
+    "TraceMetrics",
+    "analytic_fct",
+    "evaluate_trace",
+    "generate_trace",
+    "normalized_against",
+    "packetize",
+    "uniform_path",
+]

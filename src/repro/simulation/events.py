@@ -1,0 +1,77 @@
+"""A minimal discrete-event engine.
+
+Events are ``(time, callback)`` pairs in a priority queue; a monotonic
+sequence number breaks ties so same-time events run in scheduling
+order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """Time-ordered event queue with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._seq = itertools.count()
+
+    def push(self, when: float, callback: Callback) -> None:
+        if when < 0:
+            raise ValueError("event time must be non-negative")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def pop(self) -> Tuple[float, Callback]:
+        when, _seq, callback = heapq.heappop(self._heap)
+        return when, callback
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulator:
+    """Runs events until the queue drains (or a horizon is reached)."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0.0
+        self._events_processed = 0
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.queue.push(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule in the past ({when} < {self.now})"
+            )
+        self.queue.push(when, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events; returns the final simulation time."""
+        while self.queue:
+            when, callback = self.queue.pop()
+            if until is not None and when > until:
+                # Leave the horizon-crossing event unprocessed.
+                self.queue.push(when, callback)
+                self.now = until
+                return self.now
+            self.now = when
+            callback()
+            self._events_processed += 1
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

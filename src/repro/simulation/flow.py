@@ -1,0 +1,100 @@
+"""Flows and packetization under MTU pressure.
+
+The mechanism the paper measures: a flow has a fixed amount of
+application data; coordination metadata occupies part of every packet's
+MTU budget, so the per-packet payload shrinks and the packet count
+grows.  Following §II-B, the sender "adaptively tunes" the payload so
+``payload + overhead + framing <= MTU``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.simulation.packet import BASE_HEADER_BYTES, Packet
+
+#: Ethernet MTU used throughout the experiments.
+DEFAULT_MTU = 1500
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional message transfer.
+
+    Attributes:
+        flow_id: Identifier.
+        message_bytes: Total application bytes to deliver.
+        packet_payload_bytes: Nominal payload per packet before any
+            overhead shrinks it (the paper's 512/1024/1500-byte packet
+            sizes, minus framing).
+        overhead_bytes: Metadata piggybacked per packet.
+        mtu: Maximum wire size of one packet.
+        header_bytes: Base framing per packet.
+    """
+
+    flow_id: int
+    message_bytes: int
+    packet_payload_bytes: int
+    overhead_bytes: int = 0
+    mtu: int = DEFAULT_MTU
+    header_bytes: int = BASE_HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if self.message_bytes <= 0:
+            raise ValueError("message_bytes must be positive")
+        if self.packet_payload_bytes <= 0:
+            raise ValueError("packet_payload_bytes must be positive")
+        if self.effective_payload_bytes <= 0:
+            raise ValueError(
+                f"overhead {self.overhead_bytes}B + framing "
+                f"{self.header_bytes}B leave no payload room within "
+                f"MTU {self.mtu}"
+            )
+
+    @property
+    def effective_payload_bytes(self) -> int:
+        """Payload per packet after the overhead claims its MTU share."""
+        room = self.mtu - self.overhead_bytes - self.header_bytes
+        return min(self.packet_payload_bytes, room)
+
+    @property
+    def num_packets(self) -> int:
+        """Packets needed to carry the whole message."""
+        payload = self.effective_payload_bytes
+        return -(-self.message_bytes // payload)  # ceil division
+
+    @property
+    def total_wire_bytes(self) -> int:
+        """Bytes serialized per hop for the whole flow."""
+        full = self.num_packets - 1
+        last_payload = self.message_bytes - full * self.effective_payload_bytes
+        per_packet_extra = self.overhead_bytes + self.header_bytes
+        return (
+            full * (self.effective_payload_bytes + per_packet_extra)
+            + last_payload
+            + per_packet_extra
+        )
+
+
+def packetize(flow: Flow) -> Iterator[Packet]:
+    """Yield the flow's packets in order (last one may be short)."""
+    payload = flow.effective_payload_bytes
+    remaining = flow.message_bytes
+    seq = 0
+    while remaining > 0:
+        take = min(payload, remaining)
+        yield Packet(
+            flow_id=flow.flow_id,
+            seq=seq,
+            payload_bytes=take,
+            overhead_bytes=flow.overhead_bytes,
+            header_bytes=flow.header_bytes,
+        )
+        remaining -= take
+        seq += 1
+
+
+def packet_list(flow: Flow) -> List[Packet]:
+    """Materialized :func:`packetize` (convenience for tests)."""
+    return list(packetize(flow))

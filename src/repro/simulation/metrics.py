@@ -1,0 +1,58 @@
+"""Flow metrics and the paper's normalized presentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FlowMetrics:
+    """Measured outcome of one flow transfer.
+
+    Attributes:
+        fct_us: Flow completion time in microseconds.
+        goodput_gbps: Application-byte throughput over the FCT.
+        num_packets: Packets the message required.
+        wire_bytes_per_hop: Total bytes serialized on each hop.
+    """
+
+    fct_us: float
+    goodput_gbps: float
+    num_packets: int
+    wire_bytes_per_hop: int
+
+    def __post_init__(self) -> None:
+        if self.fct_us <= 0:
+            raise ValueError("fct_us must be positive")
+        if self.num_packets <= 0:
+            raise ValueError("num_packets must be positive")
+
+
+@dataclass(frozen=True)
+class NormalizedMetrics:
+    """Metrics relative to a zero-overhead baseline (Fig. 2's y-axes).
+
+    ``fct_ratio`` > 1 means the overhead inflated completion time;
+    ``goodput_ratio`` < 1 means it depressed throughput.
+    """
+
+    fct_ratio: float
+    goodput_ratio: float
+
+    @property
+    def fct_increase_pct(self) -> float:
+        return (self.fct_ratio - 1.0) * 100.0
+
+    @property
+    def goodput_decrease_pct(self) -> float:
+        return (1.0 - self.goodput_ratio) * 100.0
+
+
+def normalized_against(
+    measured: FlowMetrics, baseline: FlowMetrics
+) -> NormalizedMetrics:
+    """Normalize ``measured`` against a no-metadata ``baseline`` run."""
+    return NormalizedMetrics(
+        fct_ratio=measured.fct_us / baseline.fct_us,
+        goodput_ratio=measured.goodput_gbps / baseline.goodput_gbps,
+    )

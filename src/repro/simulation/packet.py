@@ -1,0 +1,41 @@
+"""Packets as the simulator sees them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ethernet + IPv4 + TCP framing the testbed flows carry regardless of
+#: metadata (14 + 20 + 20 bytes).
+BASE_HEADER_BYTES = 54
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet of a flow.
+
+    Attributes:
+        flow_id: Owning flow identifier.
+        seq: Packet index within the flow (0-based).
+        payload_bytes: Application payload carried.
+        overhead_bytes: Piggybacked coordination metadata.
+        header_bytes: Base protocol framing.
+    """
+
+    flow_id: int
+    seq: int
+    payload_bytes: int
+    overhead_bytes: int = 0
+    header_bytes: int = BASE_HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if self.overhead_bytes < 0:
+            raise ValueError("overhead_bytes must be non-negative")
+        if self.header_bytes < 0:
+            raise ValueError("header_bytes must be non-negative")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes serialized onto a link."""
+        return self.payload_bytes + self.overhead_bytes + self.header_bytes

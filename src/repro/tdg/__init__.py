@@ -1,0 +1,28 @@
+"""Table dependency graphs (TDGs).
+
+A TDG is a directed acyclic graph whose nodes are MATs and whose edges
+are execution dependencies between MATs (Jose et al., NSDI'15).  Hermes
+consumes programs exclusively through their merged TDG: the program
+analyzer converts each input program to a TDG, merges all TDGs into one
+(eliminating redundant MATs, following SPEED), and annotates every edge
+with the number of metadata bytes ``A(a, b)`` that must cross switches
+if its endpoints are placed apart.
+"""
+
+from repro.tdg.dependencies import DependencyType, classify_dependency
+from repro.tdg.graph import CycleError, Tdg, TdgEdge
+from repro.tdg.builder import build_tdg
+from repro.tdg.merge import merge_tdgs
+from repro.tdg.analysis import annotate_metadata_sizes, edge_metadata_bytes
+
+__all__ = [
+    "CycleError",
+    "DependencyType",
+    "Tdg",
+    "TdgEdge",
+    "annotate_metadata_sizes",
+    "build_tdg",
+    "classify_dependency",
+    "edge_metadata_bytes",
+    "merge_tdgs",
+]

@@ -1,0 +1,81 @@
+"""Building a TDG from a data plane program.
+
+Following the paper's program analyzer, the builder "enumerates every
+pair of the MATs defined in the program to obtain all the execution
+dependencies": for each ordered pair where one table executes before
+another, it classifies the dependency and adds the corresponding edge.
+
+Node names are qualified as ``"<program>.<mat>"`` so that TDGs from
+different programs can be merged without name collisions; redundancy
+detection during merging works on MAT signatures, not names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program
+from repro.tdg.dependencies import classify_dependency
+from repro.tdg.graph import Tdg
+
+
+def qualified_name(program_name: str, mat_name: str) -> str:
+    """The TDG node name for a program's MAT."""
+    return f"{program_name}.{mat_name}"
+
+
+def _requalify(mat: Mat, new_name: str) -> Mat:
+    """A copy of ``mat`` renamed for the merged namespace."""
+    return Mat(
+        name=new_name,
+        match_fields=mat.match_fields,
+        actions=mat.actions,
+        capacity=mat.capacity,
+        rules=mat.rules,
+        resource_demand=mat.resource_demand,
+        detailed_demand=mat.detailed_demand,
+    )
+
+
+def build_tdg(program: Program, name: Optional[str] = None) -> Tdg:
+    """Convert ``program`` into its table dependency graph.
+
+    Every ordered pair of tables ``(a, b)`` with ``a`` earlier in the
+    pipeline is examined; a TDG edge is added whenever a match, action,
+    successor or reverse-match dependency exists between them.
+
+    Args:
+        program: The source program.
+        name: Graph name; defaults to the program name.
+
+    Returns:
+        A DAG whose edges carry dependency types but not yet metadata
+        sizes (see :func:`repro.tdg.analysis.annotate_metadata_sizes`).
+    """
+    tdg = Tdg(name or program.name)
+    renamed = {
+        mat.name: _requalify(mat, qualified_name(program.name, mat.name))
+        for mat in program.mats
+    }
+    for mat in program.mats:
+        tdg.add_node(renamed[mat.name])
+
+    mats = list(program.mats)
+    for i, upstream in enumerate(mats):
+        for downstream in mats[i + 1 :]:
+            dep = classify_dependency(
+                upstream,
+                downstream,
+                conditional=program.is_conditional(
+                    upstream.name, downstream.name
+                ),
+            )
+            if dep is None:
+                continue
+            tdg.add_edge(
+                renamed[upstream.name].name,
+                renamed[downstream.name].name,
+                dep,
+            )
+    return tdg

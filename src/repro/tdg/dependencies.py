@@ -1,0 +1,76 @@
+"""MAT dependency classification.
+
+Given two MATs ``a`` and ``b`` where ``a`` executes before ``b`` in the
+program's pipeline order, the dependency between them (if any) is one
+of four types, following Jose et al. and the paper's §IV:
+
+* **Match dependency (ℳ)** — ``b`` consumes a field whose value ``a``
+  modified: ``F^a_a ∩ F^m_b ≠ ∅``, or ``b``'s actions read a field
+  ``a`` wrote (write-then-read through action parameters is the same
+  data dependency, just surfacing in the action phase).  The strictest
+  kind: ``b`` must see ``a``'s output before using it.
+* **Action dependency (𝔸)** — both modify a common field:
+  ``F^a_a ∩ F^a_b ≠ ∅``.  Order of writes must be preserved.
+* **Reverse-match dependency (ℝ)** — ``b`` modifies a field ``a``
+  matches on: ``F^m_a ∩ F^a_b ≠ ∅``.  Ordering matters but no data
+  flows downstream, so it contributes zero metadata bytes.
+* **Successor dependency (𝕊)** — ``a``'s processing result decides
+  whether ``b`` executes (conditional control flow).
+
+When several types apply simultaneously the strictest wins, in the
+order ℳ > 𝔸 > 𝕊 > ℝ.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.dataplane.mat import Mat
+
+
+class DependencyType(enum.Enum):
+    """The four TDG edge types."""
+
+    MATCH = "M"
+    ACTION = "A"
+    REVERSE = "R"
+    SUCCESSOR = "S"
+
+    @property
+    def carries_metadata(self) -> bool:
+        """Whether edges of this type can contribute byte overhead."""
+        return self is not DependencyType.REVERSE
+
+
+def classify_dependency(
+    upstream: Mat,
+    downstream: Mat,
+    conditional: bool = False,
+) -> Optional[DependencyType]:
+    """Classify the dependency from ``upstream`` to ``downstream``.
+
+    Args:
+        upstream: The MAT that executes first.
+        downstream: The MAT that executes later.
+        conditional: Whether ``upstream``'s result gates ``downstream``'s
+            execution (program-level control flow).
+
+    Returns:
+        The strictest applicable :class:`DependencyType`, or ``None``
+        when the two MATs are independent.
+    """
+    up_writes = upstream.modified_fields.names
+    down_reads = downstream.read_fields.names  # match key + action reads
+    down_writes = downstream.modified_fields.names
+    up_matches = upstream.match_fields.names
+
+    if up_writes & down_reads:
+        return DependencyType.MATCH
+    if up_writes & down_writes:
+        return DependencyType.ACTION
+    if conditional:
+        return DependencyType.SUCCESSOR
+    if up_matches & down_writes:
+        return DependencyType.REVERSE
+    return None

@@ -1,0 +1,33 @@
+"""Workloads: the programs the evaluation deploys.
+
+* :mod:`repro.workloads.metadata_catalog` — Table I's common metadata;
+* :mod:`repro.workloads.switchp4` — ten "real" programs modeled after
+  switch.p4 feature slices (the paper's testbed programs);
+* :mod:`repro.workloads.sketches` — ten sketch-based measurement
+  programs for the SDM scenario (Exp#6);
+* :mod:`repro.workloads.synthetic` — the seeded random program
+  generator with the paper's §VI-A parameter distribution.
+"""
+
+from repro.workloads.metadata_catalog import (
+    METADATA_SIZES,
+    counter_index,
+    queue_lengths,
+    switch_identifier,
+    timestamps,
+)
+from repro.workloads.switchp4 import real_programs
+from repro.workloads.sketches import sketch_programs
+from repro.workloads.synthetic import SyntheticConfig, synthetic_programs
+
+__all__ = [
+    "METADATA_SIZES",
+    "SyntheticConfig",
+    "counter_index",
+    "queue_lengths",
+    "real_programs",
+    "sketch_programs",
+    "switch_identifier",
+    "synthetic_programs",
+    "timestamps",
+]

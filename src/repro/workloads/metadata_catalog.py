@@ -1,0 +1,47 @@
+"""Table I: common metadata in data plane programs.
+
+| Metadata          | Size | Common usage                         |
+|-------------------|------|--------------------------------------|
+| Switch identifier | 4 B  | path tracing, path conformance       |
+| Queue lengths     | 6 B  | congestion control                   |
+| Timestamps        | 12 B | troubleshooting, anomaly detection   |
+| Counter index     | 4 B  | hash tables, sketches                |
+
+The constructors return fresh :class:`~repro.dataplane.fields.Field`
+objects namespaced per program, so two programs' "counter index" fields
+are distinct unless a workload deliberately shares them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dataplane.fields import Field, metadata_field
+
+#: Metadata kind -> size in bytes (Table I).
+METADATA_SIZES: Dict[str, int] = {
+    "switch_id": 4,
+    "queue_lengths": 6,
+    "timestamps": 12,
+    "counter_index": 4,
+}
+
+
+def switch_identifier(namespace: str) -> Field:
+    """A 4-byte switch identifier (path tracing / conformance)."""
+    return metadata_field(f"{namespace}.switch_id", 32)
+
+
+def queue_lengths(namespace: str) -> Field:
+    """6 bytes of queue-depth telemetry (congestion control)."""
+    return metadata_field(f"{namespace}.queue_lengths", 48)
+
+
+def timestamps(namespace: str) -> Field:
+    """12 bytes of ingress/egress timestamps (troubleshooting)."""
+    return metadata_field(f"{namespace}.timestamps", 96)
+
+
+def counter_index(namespace: str) -> Field:
+    """A 4-byte counter/hash index (sketches, hash tables)."""
+    return metadata_field(f"{namespace}.counter_index", 32)

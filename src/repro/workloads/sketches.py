@@ -1,0 +1,174 @@
+"""Sketch-based measurement programs (the SDM scenario, Exp#6).
+
+Each sketch follows the canonical three-phase data plane shape the
+paper describes: compute hash indexes, update counter arrays at those
+indexes, post-process the read-back values.  Several sketches share the
+*same* 5-tuple hash MAT (same match key, actions and capacity), so
+SPEED/Hermes TDG merging can eliminate the redundancy — the effect
+Exp#6 measures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dataplane.actions import (
+    counter_update,
+    hash_compute,
+    modify,
+    no_op,
+)
+from repro.dataplane.fields import Field, metadata_field, standard_headers
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program
+
+_HDR = standard_headers()
+
+#: The flow-key hash shared by sketches that index on the 5-tuple.
+_SHARED_INDEX = metadata_field("sdm.flow_index", 32)
+
+
+def _shared_hash_mat() -> Mat:
+    """The redundancy-bearing MAT: identical across sharing sketches."""
+    return Mat(
+        "flow_hash",
+        match_fields=[_HDR["ipv4.protocol"]],
+        actions=[
+            hash_compute(
+                _SHARED_INDEX,
+                [
+                    _HDR["ipv4.src_addr"],
+                    _HDR["ipv4.dst_addr"],
+                    _HDR["tcp.src_port"],
+                    _HDR["tcp.dst_port"],
+                    _HDR["ipv4.protocol"],
+                ],
+            )
+        ],
+        capacity=16,
+        resource_demand=0.20,
+    )
+
+
+def _sketch(
+    name: str,
+    rows: int,
+    update_demand: float,
+    shares_hash: bool,
+    result_bits: int = 32,
+) -> Program:
+    """A generic sketch: hash -> per-row updates -> report."""
+    if shares_hash:
+        index: Field = _SHARED_INDEX
+        hash_mat = _shared_hash_mat()
+    else:
+        index = metadata_field(f"{name}.index", 32)
+        hash_mat = Mat(
+            "flow_hash",
+            match_fields=[_HDR["ipv4.protocol"]],
+            actions=[
+                hash_compute(index, [_HDR["ipv4.src_addr"], _HDR["ipv4.dst_addr"]])
+            ],
+            capacity=16,
+            resource_demand=0.20,
+        )
+    mats = [hash_mat]
+    prev_value: Field = index
+    for row in range(rows):
+        value = metadata_field(f"{name}.row{row}_value", result_bits)
+        mats.append(
+            Mat(
+                f"row{row}_update",
+                match_fields=[prev_value],
+                actions=[counter_update(index, value, name=f"update_row{row}")],
+                capacity=65536,
+                resource_demand=update_demand,
+            )
+        )
+        prev_value = value
+    mats.append(
+        Mat(
+            "report",
+            match_fields=[prev_value],
+            actions=[modify(_HDR["ipv4.dscp"], name="mark"), no_op("skip")],
+            capacity=16,
+            resource_demand=0.10,
+        )
+    )
+    return Program(name, mats)
+
+
+def count_min() -> Program:
+    """Count-Min: d=3 rows of conservative-update counters."""
+    return _sketch("count_min", rows=3, update_demand=0.35, shares_hash=True)
+
+
+def count_sketch() -> Program:
+    """Count-Sketch: 3 rows with signed updates."""
+    return _sketch("count_sketch", rows=3, update_demand=0.35, shares_hash=True)
+
+
+def bloom_filter() -> Program:
+    """Bloom filter membership: 2 bit-array rows."""
+    return _sketch(
+        "bloom_filter", rows=2, update_demand=0.20, shares_hash=True,
+        result_bits=8,
+    )
+
+
+def hyperloglog() -> Program:
+    """Cardinality estimation: single register row, own hash."""
+    return _sketch("hyperloglog", rows=1, update_demand=0.30, shares_hash=False)
+
+
+def univmon() -> Program:
+    """UnivMon-style universal sketch: 4 layered rows."""
+    return _sketch("univmon", rows=4, update_demand=0.30, shares_hash=True)
+
+
+def elastic_sketch() -> Program:
+    """Elastic sketch: heavy part + light part."""
+    return _sketch("elastic", rows=2, update_demand=0.40, shares_hash=True)
+
+
+def mv_sketch() -> Program:
+    """MV-Sketch: majority-vote heavy flow detection, 3 rows."""
+    return _sketch("mv_sketch", rows=3, update_demand=0.35, shares_hash=True)
+
+
+def flowradar() -> Program:
+    """FlowRadar-style encoded flowset: 3 coupled rows, own hash."""
+    return _sketch("flowradar", rows=3, update_demand=0.30, shares_hash=False)
+
+
+def ld_sketch() -> Program:
+    """LD-Sketch: local-deviation tracking, 2 rows."""
+    return _sketch("ld_sketch", rows=2, update_demand=0.35, shares_hash=True)
+
+
+def fm_sketch() -> Program:
+    """Flajolet-Martin distinct counting: 1 row, own hash."""
+    return _sketch("fm_sketch", rows=1, update_demand=0.25, shares_hash=False)
+
+
+_FACTORIES = (
+    count_min,
+    count_sketch,
+    bloom_filter,
+    hyperloglog,
+    univmon,
+    elastic_sketch,
+    mv_sketch,
+    flowradar,
+    ld_sketch,
+    fm_sketch,
+)
+
+
+def sketch_programs(count: int = 10) -> List[Program]:
+    """The first ``count`` (max 10) sketch programs."""
+    if not 1 <= count <= len(_FACTORIES):
+        raise ValueError(
+            f"count must be in [1, {len(_FACTORIES)}], got {count}"
+        )
+    return [factory() for factory in _FACTORIES[:count]]

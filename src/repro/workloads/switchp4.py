@@ -1,0 +1,614 @@
+"""Ten "real" programs modeled on switch.p4 feature slices.
+
+The paper's testbed deploys ten versions of switch.p4.  The upstream
+program is a Tofino P4 artifact we cannot compile offline, but the
+deployment problem only sees MAT-level structure: match keys, the
+fields actions read/write, rule capacities and resource demands.  Each
+program below reproduces one switch.p4 feature pipeline at that level,
+with metadata flows (and thus inter-MAT byte counts) following Table I.
+
+Resource demands are sized so ten concurrent programs exceed a single
+12-stage switch (the regime the testbed experiment measures): switch.p4
+alone nearly fills a Tofino pipeline, so each feature slice here
+occupies a substantial fraction of one — the per-MAT base fractions
+below are scaled by ``DEMAND_SCALE``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataplane.actions import (
+    Action,
+    ActionPrimitive,
+    counter_update,
+    drop,
+    forward,
+    hash_compute,
+    modify,
+    no_op,
+)
+from repro.dataplane.fields import Field, metadata_field, standard_headers
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program
+from repro.workloads.metadata_catalog import (
+    counter_index,
+    queue_lengths,
+    switch_identifier,
+    timestamps,
+)
+
+_HDR = standard_headers()
+
+#: Multiplier applied to every base demand: ten concurrent programs sum
+#: to ~25 stage units, overflowing one 12-stage switch like the paper's
+#: testbed deployment does.
+DEMAND_SCALE = 3.0
+
+
+def _d(base: float) -> float:
+    """A MAT's normalized demand from its base fraction."""
+    return base * DEMAND_SCALE
+
+
+def _egress_spec(ns: str) -> Field:
+    return metadata_field(f"{ns}.egress_spec", 16)
+
+
+def l2_switching() -> Program:
+    """MAC learning and forwarding: smac -> dmac -> vlan decision."""
+    ns = "l2"
+    egress = _egress_spec(ns)
+    learned = metadata_field(f"{ns}.smac_hit", 8)
+    smac = Mat(
+        "smac",
+        match_fields=[_HDR["ethernet.src_addr"], _HDR["vlan.vid"]],
+        actions=[modify(learned, name="set_hit"), no_op("miss")],
+        capacity=4096,
+        resource_demand=_d(0.30),
+    )
+    dmac = Mat(
+        "dmac",
+        match_fields=[_HDR["ethernet.dst_addr"], _HDR["vlan.vid"]],
+        actions=[forward(egress), drop("flood")],
+        capacity=4096,
+        resource_demand=_d(0.30),
+    )
+    learn_notify = Mat(
+        "learn_notify",
+        match_fields=[learned],
+        actions=[no_op("notify"), no_op("skip")],
+        capacity=2,
+        resource_demand=_d(0.10),
+    )
+    return Program("l2_switching", [smac, dmac, learn_notify])
+
+
+def l3_routing() -> Program:
+    """IPv4 LPM -> next-hop resolution -> MAC rewrite."""
+    ns = "l3"
+    nexthop_idx = counter_index(ns)
+    egress = _egress_spec(ns)
+    lpm = Mat(
+        "ipv4_lpm",
+        match_fields=[_HDR["ipv4.dst_addr"]],
+        actions=[modify(nexthop_idx, name="set_nexthop"), drop()],
+        capacity=16384,
+        resource_demand=_d(0.40),
+    )
+    nexthop = Mat(
+        "nexthop",
+        match_fields=[nexthop_idx],
+        actions=[forward(egress)],
+        capacity=1024,
+        resource_demand=_d(0.25),
+    )
+    rewrite = Mat(
+        "rewrite",
+        match_fields=[egress],
+        actions=[
+            Action(
+                "rewrite_macs",
+                ActionPrimitive.MODIFY_FIELD,
+                reads=(egress,),
+                writes=(
+                    _HDR["ethernet.src_addr"],
+                    _HDR["ethernet.dst_addr"],
+                ),
+            )
+        ],
+        capacity=512,
+        resource_demand=_d(0.20),
+    )
+    return Program("l3_routing", [lpm, nexthop, rewrite])
+
+
+def acl_firewall() -> Program:
+    """Ingress ACL producing a verdict applied by a later table."""
+    ns = "acl"
+    verdict = metadata_field(f"{ns}.verdict", 8)
+    acl = Mat(
+        "ingress_acl",
+        match_fields=[
+            _HDR["ipv4.src_addr"],
+            _HDR["ipv4.dst_addr"],
+            _HDR["tcp.dst_port"],
+        ],
+        actions=[modify(verdict, name="set_verdict")],
+        capacity=2048,
+        resource_demand=_d(0.35),
+    )
+    apply_verdict = Mat(
+        "apply_verdict",
+        match_fields=[verdict],
+        actions=[no_op("permit"), drop("deny")],
+        capacity=4,
+        resource_demand=_d(0.10),
+    )
+    counter = Mat(
+        "acl_counter",
+        match_fields=[verdict],
+        actions=[counter_update(verdict, name="count_verdict")],
+        capacity=4,
+        resource_demand=_d(0.15),
+    )
+    return Program("acl_firewall", [acl, apply_verdict, counter])
+
+
+def nat() -> Program:
+    """NAT lookup rewriting addresses, then checksum-affecting mark."""
+    ns = "nat"
+    xlate = counter_index(ns)
+    lookup = Mat(
+        "nat_lookup",
+        match_fields=[_HDR["ipv4.src_addr"], _HDR["tcp.src_port"]],
+        actions=[modify(xlate, name="set_xlate")],
+        capacity=8192,
+        resource_demand=_d(0.35),
+    )
+    rewrite = Mat(
+        "nat_rewrite",
+        match_fields=[xlate],
+        actions=[
+            Action(
+                "rewrite_flow",
+                ActionPrimitive.MODIFY_FIELD,
+                reads=(xlate,),
+                writes=(_HDR["ipv4.src_addr"], _HDR["tcp.src_port"]),
+            )
+        ],
+        capacity=8192,
+        resource_demand=_d(0.30),
+    )
+    return Program("nat", [lookup, rewrite])
+
+
+def vxlan_tunnel() -> Program:
+    """Tunnel termination: decap decision -> inner forwarding -> encap."""
+    ns = "vxlan"
+    tunnel_id = counter_index(ns)
+    egress = _egress_spec(ns)
+    term = Mat(
+        "tunnel_term",
+        match_fields=[_HDR["ipv4.dst_addr"], _HDR["udp.dst_port"]],
+        actions=[modify(tunnel_id, name="set_tunnel"), no_op("bypass")],
+        capacity=1024,
+        resource_demand=_d(0.25),
+    )
+    inner_fwd = Mat(
+        "inner_forward",
+        match_fields=[tunnel_id, _HDR["ethernet.dst_addr"]],
+        actions=[forward(egress)],
+        capacity=4096,
+        resource_demand=_d(0.30),
+    )
+    encap = Mat(
+        "tunnel_encap",
+        match_fields=[egress],
+        actions=[modify(_HDR["ipv4.dst_addr"], name="set_outer")],
+        capacity=1024,
+        resource_demand=_d(0.20),
+    )
+    return Program("vxlan_tunnel", [term, inner_fwd, encap])
+
+
+def ecmp_lb() -> Program:
+    """ECMP: 5-tuple hash -> group member select -> next hop."""
+    ns = "ecmp"
+    hash_val = counter_index(ns)
+    member = metadata_field(f"{ns}.member", 16)
+    egress = _egress_spec(ns)
+    compute = Mat(
+        "ecmp_hash",
+        match_fields=[_HDR["ipv4.dst_addr"]],
+        actions=[
+            hash_compute(
+                hash_val,
+                [
+                    _HDR["ipv4.src_addr"],
+                    _HDR["ipv4.dst_addr"],
+                    _HDR["tcp.src_port"],
+                    _HDR["tcp.dst_port"],
+                    _HDR["ipv4.protocol"],
+                ],
+            )
+        ],
+        capacity=64,
+        resource_demand=_d(0.20),
+    )
+    select = Mat(
+        "ecmp_select",
+        match_fields=[hash_val],
+        actions=[modify(member, name="pick_member")],
+        capacity=1024,
+        resource_demand=_d(0.25),
+    )
+    nexthop = Mat(
+        "ecmp_nexthop",
+        match_fields=[member],
+        actions=[forward(egress)],
+        capacity=1024,
+        resource_demand=_d(0.20),
+    )
+    return Program("ecmp_lb", [compute, select, nexthop])
+
+
+def qos_meter() -> Program:
+    """QoS: classify -> meter (color) -> mark or police."""
+    ns = "qos"
+    tc = metadata_field(f"{ns}.traffic_class", 8)
+    color = metadata_field(f"{ns}.color", 8)
+    classify = Mat(
+        "classify",
+        match_fields=[_HDR["ipv4.dscp"], _HDR["tcp.dst_port"]],
+        actions=[modify(tc, name="set_class")],
+        capacity=512,
+        resource_demand=_d(0.25),
+    )
+    meter = Mat(
+        "meter",
+        match_fields=[tc],
+        actions=[modify(color, name="run_meter")],
+        capacity=256,
+        resource_demand=_d(0.30),
+    )
+    police = Mat(
+        "police",
+        match_fields=[color],
+        actions=[modify(_HDR["ipv4.dscp"], name="remark"), drop("police_drop")],
+        capacity=8,
+        resource_demand=_d(0.15),
+    )
+    return Program("qos_meter", [classify, meter, police])
+
+
+def int_telemetry() -> Program:
+    """INT: source stamps telemetry, transit appends, sink extracts."""
+    ns = "int"
+    ts = timestamps(ns)
+    qlen = queue_lengths(ns)
+    sid = switch_identifier(ns)
+    source = Mat(
+        "int_source",
+        match_fields=[_HDR["ipv4.dscp"]],
+        actions=[
+            Action(
+                "stamp_telemetry",
+                ActionPrimitive.MODIFY_FIELD,
+                writes=(ts, sid),
+            )
+        ],
+        capacity=64,
+        resource_demand=_d(0.25),
+    )
+    transit = Mat(
+        "int_transit",
+        match_fields=[sid],
+        actions=[modify(qlen, name="append_qdepth")],
+        capacity=64,
+        resource_demand=_d(0.25),
+    )
+    sink = Mat(
+        "int_sink",
+        match_fields=[qlen, ts],
+        actions=[no_op("report"), no_op("skip")],
+        capacity=64,
+        resource_demand=_d(0.20),
+    )
+    return Program("int_telemetry", [source, transit, sink])
+
+
+def heavy_hitter() -> Program:
+    """Heavy-hitter detection: hash -> count-min update -> threshold."""
+    ns = "hh"
+    idx = counter_index(ns)
+    count = metadata_field(f"{ns}.count", 32)
+    compute = Mat(
+        "hh_hash",
+        match_fields=[_HDR["ipv4.src_addr"]],
+        actions=[
+            hash_compute(idx, [_HDR["ipv4.src_addr"], _HDR["ipv4.dst_addr"]])
+        ],
+        capacity=16,
+        resource_demand=_d(0.20),
+    )
+    update = Mat(
+        "hh_update",
+        match_fields=[idx],
+        actions=[counter_update(idx, count, name="cm_update")],
+        capacity=65536,
+        resource_demand=_d(0.45),
+    )
+    threshold = Mat(
+        "hh_threshold",
+        match_fields=[count],
+        actions=[modify(_HDR["ipv4.dscp"], name="flag_hh"), no_op("pass")],
+        capacity=16,
+        resource_demand=_d(0.15),
+    )
+    return Program("heavy_hitter", [compute, update, threshold])
+
+
+def stateful_firewall() -> Program:
+    """Connection tracking: conn hash -> state table -> verdict."""
+    ns = "sfw"
+    conn = counter_index(ns)
+    state = metadata_field(f"{ns}.state", 8)
+    compute = Mat(
+        "conn_hash",
+        match_fields=[_HDR["ipv4.protocol"]],
+        actions=[
+            hash_compute(
+                conn,
+                [
+                    _HDR["ipv4.src_addr"],
+                    _HDR["ipv4.dst_addr"],
+                    _HDR["tcp.src_port"],
+                    _HDR["tcp.dst_port"],
+                ],
+            )
+        ],
+        capacity=16,
+        resource_demand=_d(0.20),
+    )
+    table = Mat(
+        "conn_table",
+        match_fields=[conn, _HDR["tcp.flags"]],
+        actions=[modify(state, name="update_state")],
+        capacity=65536,
+        resource_demand=_d(0.45),
+    )
+    verdict = Mat(
+        "fw_verdict",
+        match_fields=[state],
+        actions=[no_op("allow"), drop("deny")],
+        capacity=8,
+        resource_demand=_d(0.10),
+    )
+    return Program("stateful_firewall", [compute, table, verdict])
+
+
+def multicast() -> Program:
+    """Multicast: group lookup -> replication -> per-port prune."""
+    ns = "mcast"
+    group = counter_index(ns)
+    egress = _egress_spec(ns)
+    lookup = Mat(
+        "mcast_group",
+        match_fields=[_HDR["ipv4.dst_addr"]],
+        actions=[modify(group, name="set_group"), no_op("unicast")],
+        capacity=1024,
+        resource_demand=_d(0.25),
+    )
+    replicate = Mat(
+        "mcast_replicate",
+        match_fields=[group],
+        actions=[forward(egress)],
+        capacity=1024,
+        resource_demand=_d(0.30),
+    )
+    prune = Mat(
+        "mcast_prune",
+        match_fields=[egress, _HDR["vlan.vid"]],
+        actions=[no_op("keep"), drop("prune")],
+        capacity=512,
+        resource_demand=_d(0.15),
+    )
+    return Program("multicast", [lookup, replicate, prune])
+
+
+def ipv6_routing() -> Program:
+    """IPv6 LPM with neighbor discovery resolution."""
+    ns = "v6"
+    nexthop = counter_index(ns)
+    egress = _egress_spec(ns)
+    lpm = Mat(
+        "ipv6_lpm",
+        match_fields=[_HDR["ipv6.dst_addr"]],
+        actions=[modify(nexthop, name="set_v6_nexthop"), drop()],
+        capacity=8192,
+        resource_demand=_d(0.45),
+    )
+    neighbor = Mat(
+        "neighbor",
+        match_fields=[nexthop],
+        actions=[
+            Action(
+                "resolve",
+                ActionPrimitive.MODIFY_FIELD,
+                reads=(nexthop,),
+                writes=(_HDR["ethernet.dst_addr"],),
+            ),
+            forward(egress),
+        ],
+        capacity=1024,
+        resource_demand=_d(0.25),
+    )
+    return Program("ipv6_routing", [lpm, neighbor])
+
+
+def mpls_lsr() -> Program:
+    """MPLS label switching: label lookup -> swap/pop -> forward."""
+    ns = "mpls"
+    label_op = metadata_field(f"{ns}.label_op", 8)
+    out_label = metadata_field(f"{ns}.out_label", 20)
+    egress = _egress_spec(ns)
+    lookup = Mat(
+        "label_lookup",
+        match_fields=[_HDR["ethernet.ether_type"], _HDR["ipv4.dst_addr"]],
+        actions=[
+            Action(
+                "set_op",
+                ActionPrimitive.MODIFY_FIELD,
+                writes=(label_op, out_label),
+            )
+        ],
+        capacity=4096,
+        resource_demand=_d(0.35),
+    )
+    rewrite = Mat(
+        "label_rewrite",
+        match_fields=[label_op, out_label],
+        actions=[modify(_HDR["ethernet.ether_type"], name="push_label")],
+        capacity=4096,
+        resource_demand=_d(0.25),
+    )
+    send = Mat(
+        "mpls_forward",
+        match_fields=[out_label],
+        actions=[forward(egress)],
+        capacity=1024,
+        resource_demand=_d(0.15),
+    )
+    return Program("mpls_lsr", [lookup, rewrite, send])
+
+
+def sflow_sampling() -> Program:
+    """sFlow-style sampling: decide -> stamp -> export counter."""
+    ns = "sflow"
+    sampled = metadata_field(f"{ns}.sampled", 8)
+    ts = timestamps(ns)
+    decide = Mat(
+        "sample_decide",
+        match_fields=[_HDR["ipv4.protocol"]],
+        actions=[
+            hash_compute(sampled, [_HDR["ipv4.src_addr"], _HDR["tcp.src_port"]])
+        ],
+        capacity=16,
+        resource_demand=_d(0.20),
+    )
+    stamp = Mat(
+        "sample_stamp",
+        match_fields=[sampled],
+        actions=[modify(ts, name="stamp_sample"), no_op("skip")],
+        capacity=8,
+        resource_demand=_d(0.25),
+    )
+    export = Mat(
+        "sample_export",
+        match_fields=[sampled, ts],
+        actions=[counter_update(sampled, name="count_sample")],
+        capacity=8,
+        resource_demand=_d(0.20),
+    )
+    return Program("sflow_sampling", [decide, stamp, export])
+
+
+def ddos_mitigation() -> Program:
+    """SYN-flood mitigation: per-source rate estimate -> verdict."""
+    ns = "ddos"
+    src_idx = counter_index(ns)
+    rate = metadata_field(f"{ns}.rate", 32)
+    verdict = metadata_field(f"{ns}.verdict", 8)
+    index = Mat(
+        "src_hash",
+        match_fields=[_HDR["tcp.flags"]],
+        actions=[hash_compute(src_idx, [_HDR["ipv4.src_addr"]])],
+        capacity=16,
+        resource_demand=_d(0.20),
+    )
+    estimate = Mat(
+        "rate_estimate",
+        match_fields=[src_idx],
+        actions=[counter_update(src_idx, rate, name="rate_update")],
+        capacity=65536,
+        resource_demand=_d(0.45),
+    )
+    police = Mat(
+        "ddos_verdict",
+        match_fields=[rate],
+        actions=[modify(verdict, name="set_ddos_verdict")],
+        capacity=16,
+        resource_demand=_d(0.15),
+    )
+    enforce = Mat(
+        "ddos_enforce",
+        match_fields=[verdict],
+        actions=[no_op("pass"), drop("mitigate")],
+        capacity=4,
+        resource_demand=_d(0.10),
+    )
+    return Program("ddos_mitigation", [index, estimate, police, enforce])
+
+
+def rate_limiter() -> Program:
+    """Token-bucket rate limiting keyed by flow."""
+    ns = "rl"
+    bucket = counter_index(ns)
+    tokens = metadata_field(f"{ns}.tokens", 32)
+    classify = Mat(
+        "rl_classify",
+        match_fields=[_HDR["ipv4.src_addr"], _HDR["tcp.dst_port"]],
+        actions=[modify(bucket, name="pick_bucket")],
+        capacity=2048,
+        resource_demand=_d(0.30),
+    )
+    debit = Mat(
+        "rl_debit",
+        match_fields=[bucket],
+        actions=[counter_update(bucket, tokens, name="debit_tokens")],
+        capacity=2048,
+        resource_demand=_d(0.35),
+    )
+    gate = Mat(
+        "rl_gate",
+        match_fields=[tokens],
+        actions=[no_op("conform"), drop("exceed")],
+        capacity=4,
+        resource_demand=_d(0.10),
+    )
+    return Program("rate_limiter", [classify, debit, gate])
+
+
+_FACTORIES = (
+    l2_switching,
+    l3_routing,
+    acl_firewall,
+    nat,
+    vxlan_tunnel,
+    ecmp_lb,
+    qos_meter,
+    int_telemetry,
+    heavy_hitter,
+    stateful_firewall,
+    multicast,
+    ipv6_routing,
+    mpls_lsr,
+    sflow_sampling,
+    ddos_mitigation,
+    rate_limiter,
+)
+
+
+def real_programs(count: int = 10) -> List[Program]:
+    """The first ``count`` (max 11) switch.p4-style programs."""
+    if not 1 <= count <= len(_FACTORIES):
+        raise ValueError(
+            f"count must be in [1, {len(_FACTORIES)}], got {count}"
+        )
+    return [factory() for factory in _FACTORIES[:count]]
+
+
+def program_catalog() -> Dict[str, Program]:
+    """All bundled real programs keyed by name."""
+    return {p.name: p for p in (f() for f in _FACTORIES)}

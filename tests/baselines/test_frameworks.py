@@ -1,0 +1,143 @@
+"""Integration-style tests: every framework deploys valid plans."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_FRAMEWORKS,
+    Ffl,
+    Ffls,
+    HermesHeuristic,
+    HermesOptimal,
+    MinStage,
+    Mtp,
+    Sonata,
+    Speed,
+)
+from repro.baselines.base import FrameworkResult
+from repro.baselines.min_stage import stage_minimizing_order
+from repro.core.analyzer import ProgramAnalyzer
+from repro.network.generators import linear_topology
+from tests.conftest import make_sketch_program
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(6)]
+
+
+@pytest.fixture
+def network():
+    return linear_topology(3, num_stages=4, stage_capacity=1.0)
+
+
+def framework_instance(cls):
+    if cls in (MinStage, Sonata):
+        return cls(time_limit_s=2.0)
+    if issubclass(cls, Speed) or cls is HermesOptimal:
+        return cls(time_limit_s=20.0)
+    return cls()
+
+
+@pytest.mark.parametrize("cls", ALL_FRAMEWORKS, ids=lambda c: c.name)
+def test_framework_produces_valid_plan(cls, programs, network):
+    framework = framework_instance(cls)
+    result = framework.deploy(programs, network)
+    assert isinstance(result, FrameworkResult)
+    result.plan.validate()
+    assert result.framework == cls.name
+    assert result.solve_time_s >= 0
+    assert len(result.plan.placements) == len(result.tdg)
+
+
+@pytest.mark.parametrize("cls", ALL_FRAMEWORKS, ids=lambda c: c.name)
+def test_framework_overhead_nonnegative(cls, programs, network):
+    result = framework_instance(cls).deploy(programs, network)
+    assert result.overhead_bytes >= 0
+
+
+class TestHermesBeatsBaselines:
+    def test_hermes_no_worse_than_first_fit(self, programs, network):
+        hermes = HermesHeuristic().deploy(programs, network)
+        ffl = Ffl().deploy(programs, network)
+        ffls = Ffls().deploy(programs, network)
+        assert hermes.overhead_bytes <= ffl.overhead_bytes
+        assert hermes.overhead_bytes <= ffls.overhead_bytes
+
+    def test_optimal_no_worse_than_heuristic(self, programs, network):
+        optimal = HermesOptimal(time_limit_s=30).deploy(programs, network)
+        hermes = HermesHeuristic().deploy(programs, network)
+        assert optimal.overhead_bytes <= hermes.overhead_bytes
+
+
+class TestOrderingVariants:
+    def test_sonata_sorts_by_demand(self):
+        light = make_sketch_program("light", demands=(0.1, 0.1, 0.1))
+        heavy = make_sketch_program("heavy", demands=(0.5, 0.5, 0.5))
+        ordered = Sonata().program_order([light, heavy])
+        assert [p.name for p in ordered] == ["heavy", "light"]
+
+    def test_min_stage_keeps_input_order(self):
+        a = make_sketch_program("a")
+        b = make_sketch_program("b")
+        assert [p.name for p in MinStage().program_order([a, b])] == [
+            "a",
+            "b",
+        ]
+
+    def test_ffls_orders_big_first_within_level(self):
+        program = make_sketch_program("p", demands=(0.2, 0.5, 0.3))
+        tdg = ProgramAnalyzer(merge=False).analyze([program])
+        ffl_order = Ffl().level_order(tdg)
+        ffls_order = Ffls().level_order(tdg)
+        # Chain: levels are distinct, so both agree here.
+        assert ffl_order == ffls_order
+
+    def test_stage_minimizing_order_is_topological(self, programs):
+        tdg = ProgramAnalyzer(merge=False).analyze([programs[0]])
+        order, timed_out = stage_minimizing_order(tdg, 1.0, 5.0)
+        position = {name: i for i, name in enumerate(order)}
+        for edge in tdg.edges:
+            assert position[edge.upstream] < position[edge.downstream]
+
+
+class TestMergingBehaviour:
+    def test_merging_flags(self):
+        assert Speed.merges and Mtp.merges
+        assert HermesHeuristic.merges and HermesOptimal.merges
+        assert not MinStage.merges and not Ffl.merges
+
+    def test_merging_frameworks_dedup_shared_mats(self, network):
+        from repro.workloads.sketches import sketch_programs
+
+        programs = sketch_programs(4)
+        merged = HermesHeuristic().deploy(programs, network)
+        unmerged = Ffl().deploy(programs, network)
+        assert len(merged.tdg) < len(unmerged.tdg)
+
+
+class TestTimeoutFallbacks:
+    def test_speed_fallback_on_impossible_budget(self):
+        """A starved ILP budget triggers the objective-consistent
+        greedy fallback: a valid plan flagged as timed out."""
+        programs = [
+            make_sketch_program(f"q{i}", index_bytes=2 + i)
+            for i in range(10)
+        ]
+        network = linear_topology(6, num_stages=4, stage_capacity=1.0)
+        result = Speed(time_limit_s=0.05).deploy(programs, network)
+        assert result.timed_out
+        result.plan.validate()
+        assert len(result.plan.placements) == len(result.tdg)
+
+    def test_optimal_fallback_never_worse_than_heuristic(self):
+        programs = [
+            make_sketch_program(f"q{i}", index_bytes=2 + i)
+            for i in range(10)
+        ]
+        network = linear_topology(6, num_stages=4, stage_capacity=1.0)
+        optimal = HermesOptimal(time_limit_s=0.05).deploy(
+            programs, network
+        )
+        heuristic = HermesHeuristic().deploy(programs, network)
+        assert optimal.overhead_bytes <= heuristic.overhead_bytes
+        optimal.plan.validate()

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane import (
+    Mat,
+    Program,
+    counter_update,
+    hash_compute,
+    metadata_field,
+    modify,
+    standard_headers,
+)
+from repro.network import linear_topology
+
+
+@pytest.fixture
+def headers():
+    return standard_headers()
+
+
+def make_sketch_program(
+    name: str,
+    index_bytes: int = 4,
+    value_bytes: int = 4,
+    demands=(0.4, 0.5, 0.3),
+) -> Program:
+    """hash -> update -> report, the canonical three-MAT chain.
+
+    Metadata sizes are parameterizable so tests can control A(a, b):
+    the hash->update edge carries ``index_bytes`` and update->report
+    carries ``value_bytes``.
+    """
+    hdr = standard_headers()
+    index = metadata_field(f"meta.{name}.idx", 8 * index_bytes)
+    value = metadata_field(f"meta.{name}.val", 8 * value_bytes)
+    return Program(
+        name,
+        [
+            Mat(
+                "hash",
+                match_fields=[hdr["ipv4.src_addr"], hdr["ipv4.dst_addr"]],
+                actions=[hash_compute(index, [hdr["ipv4.src_addr"]])],
+                capacity=16,
+                resource_demand=demands[0],
+            ),
+            Mat(
+                "update",
+                match_fields=[index],
+                actions=[counter_update(index, value)],
+                capacity=1024,
+                resource_demand=demands[1],
+            ),
+            Mat(
+                "report",
+                match_fields=[value],
+                actions=[modify(hdr["ipv4.dscp"], [value])],
+                capacity=64,
+                resource_demand=demands[2],
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def sketch_program():
+    return make_sketch_program("sk")
+
+
+@pytest.fixture
+def six_programs():
+    return [make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(6)]
+
+
+@pytest.fixture
+def small_line():
+    """Three programmable switches, four stages each."""
+    return linear_topology(3, num_stages=4, stage_capacity=1.0)
+
+
+@pytest.fixture
+def tiny_line():
+    """Three programmable switches, two small stages each."""
+    return linear_topology(3, num_stages=2, stage_capacity=1.0)

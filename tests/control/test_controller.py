@@ -1,0 +1,102 @@
+"""Unit tests for the runtime controller."""
+
+import pytest
+
+from repro.control import Controller, ControllerError
+from repro.core import Hermes
+from repro.dataplane.rules import MatchKind, MatchSpec, Rule
+from repro.network import linear_topology
+from tests.conftest import make_sketch_program
+
+
+@pytest.fixture
+def controller(six_programs, small_line):
+    result = Hermes().deploy(six_programs, small_line)
+    return Controller(result.plan)
+
+
+class TestLookup:
+    def test_resolve_returns_switch_and_stages(self, controller):
+        switch, stages = controller.resolve("p0.hash")
+        assert switch in controller.plan.network.switch_names
+        assert stages and all(s >= 1 for s in stages)
+
+    def test_resolve_matches_plan(self, controller):
+        for mat_name in controller.plan.placements:
+            switch, _stages = controller.resolve(mat_name)
+            assert switch == controller.plan.switch_of(mat_name)
+
+    def test_unknown_mat(self, controller):
+        with pytest.raises(ControllerError, match="no deployed MAT"):
+            controller.table("ghost")
+
+    def test_tables_on_switch(self, controller):
+        for switch in controller.plan.occupied_switches():
+            names = {t.mat_name for t in controller.tables_on(switch)}
+            assert names == set(controller.plan.mats_on(switch))
+
+
+class TestRuleManagement:
+    def rule(self, value=1):
+        return Rule(
+            matches=(
+                MatchSpec("ipv4.src_addr", MatchKind.EXACT, value),
+            ),
+            action_name="hash_meta_p0_idx",
+        )
+
+    def test_install_and_remove(self, controller):
+        event = controller.install_rule("p0.hash", self.rule())
+        assert event.kind == "install"
+        assert controller.table("p0.hash").occupancy == 1
+        controller.remove_rule("p0.hash", self.rule())
+        assert controller.table("p0.hash").occupancy == 0
+        assert len(controller.event_log) == 2
+
+    def test_capacity_enforced(self, controller):
+        handle = controller.table("p0.hash")
+        for i in range(handle.capacity):
+            controller.install_rule("p0.hash", self.rule(i))
+        with pytest.raises(ControllerError, match="full"):
+            controller.install_rule("p0.hash", self.rule(9999))
+
+    def test_batch_install_all_or_nothing(self, controller):
+        handle = controller.table("p0.hash")
+        too_many = [self.rule(i) for i in range(handle.capacity + 1)]
+        with pytest.raises(ControllerError, match="free entries"):
+            controller.install_rules("p0.hash", too_many)
+        assert handle.occupancy == 0  # nothing installed
+
+    def test_schema_checked(self, controller):
+        bad_action = Rule(action_name="ghost_action")
+        with pytest.raises(ControllerError, match="unknown action"):
+            controller.install_rule("p0.hash", bad_action)
+        bad_field = Rule(
+            matches=(MatchSpec("tcp.flags", MatchKind.EXACT, 1),),
+            action_name="hash_meta_p0_idx",
+        )
+        with pytest.raises(ControllerError, match="not in"):
+            controller.install_rule("p0.hash", bad_field)
+
+    def test_remove_missing_rule(self, controller):
+        with pytest.raises(ControllerError, match="not installed"):
+            controller.remove_rule("p0.hash", self.rule())
+
+    def test_drain(self, controller):
+        for i in range(3):
+            controller.install_rule("p0.hash", self.rule(i))
+        assert controller.drain_table("p0.hash") == 3
+        assert controller.table("p0.hash").occupancy == 0
+
+    def test_occupancy_report_and_switch_totals(self, controller):
+        controller.install_rule("p0.hash", self.rule())
+        report = controller.occupancy_report()
+        assert report["p0.hash"][0] == 1
+        switch, _stages = controller.resolve("p0.hash")
+        assert controller.switch_occupancy(switch) >= 1
+
+    def test_rules_to_replay(self, controller):
+        controller.install_rule("p0.hash", self.rule(5))
+        replay = controller.rules_to_replay("p0.hash")
+        assert len(replay) == 1
+        assert replay[0].matches[0].value == 5

@@ -1,0 +1,50 @@
+"""Unit tests for the program analyzer (Algorithm 1)."""
+
+import pytest
+
+from repro.core.analyzer import ProgramAnalyzer
+from tests.conftest import make_sketch_program
+
+
+class TestProgramAnalyzer:
+    def test_requires_programs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ProgramAnalyzer().analyze([])
+
+    def test_rejects_duplicate_program_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ProgramAnalyzer().analyze(
+                [make_sketch_program("p"), make_sketch_program("p")]
+            )
+
+    def test_single_program_roundtrip(self, sketch_program):
+        tdg = ProgramAnalyzer().analyze([sketch_program])
+        assert len(tdg) == 3
+        assert tdg.name == "T_m"
+        # Edges are annotated.
+        assert all(
+            e.metadata_bytes > 0 or e.dep_type.value == "R"
+            for e in tdg.edges
+        )
+
+    def test_merges_all_programs(self, six_programs):
+        tdg = ProgramAnalyzer().analyze(six_programs)
+        assert len(tdg) == sum(len(p) for p in six_programs)
+
+    def test_merge_disabled_keeps_all_nodes(self):
+        from repro.workloads.sketches import sketch_programs
+
+        programs = sketch_programs(4)
+        merged = ProgramAnalyzer(merge=True).analyze(programs)
+        unmerged = ProgramAnalyzer(merge=False).analyze(programs)
+        assert len(unmerged) == sum(len(p) for p in programs)
+        assert len(merged) < len(unmerged)
+
+    def test_annotations_match_field_sizes(self, six_programs):
+        tdg = ProgramAnalyzer().analyze(six_programs)
+        # p0 uses a 2-byte index (see conftest), p3 a 5-byte one.
+        assert tdg.edge("p0.hash", "p0.update").metadata_bytes == 2
+        assert tdg.edge("p3.hash", "p3.update").metadata_bytes == 5
+
+    def test_result_is_acyclic(self, six_programs):
+        ProgramAnalyzer().analyze(six_programs).topological_order()

@@ -1,0 +1,70 @@
+"""Tests for the overhead explainer."""
+
+import pytest
+
+from repro.core import Hermes, explain_overhead
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.heuristic import GreedyHeuristic
+from repro.network import linear_topology
+from tests.conftest import make_sketch_program
+
+
+@pytest.fixture
+def split_plan():
+    programs = [make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(4)]
+    net = linear_topology(8, num_stages=2, stage_capacity=1.0)
+    tdg = ProgramAnalyzer().analyze(programs)
+    plan = GreedyHeuristic(refine=False).deploy(tdg, net)
+    assert plan.max_metadata_bytes() > 0
+    return plan
+
+
+class TestExplainOverhead:
+    def test_amax_matches_plan(self, split_plan):
+        report = explain_overhead(split_plan)
+        assert report.a_max == split_plan.max_metadata_bytes()
+        assert report.worst_pair in split_plan.pair_metadata_bytes()
+
+    def test_edges_sum_to_amax(self, split_plan):
+        report = explain_overhead(split_plan)
+        assert (
+            sum(e.metadata_bytes for e in report.edges) == report.a_max
+        )
+
+    def test_counterfactuals_never_increase(self, split_plan):
+        report = explain_overhead(split_plan)
+        for contribution in report.edges:
+            assert contribution.amax_if_internalized <= report.a_max
+
+    def test_attributions_cover_amax(self, split_plan):
+        report = explain_overhead(split_plan)
+        assert sum(report.by_program.values()) == report.a_max
+
+    def test_zero_overhead_report(self, six_programs, small_line):
+        plan = Hermes().deploy(six_programs, small_line).plan
+        assert plan.max_metadata_bytes() == 0
+        report = explain_overhead(plan)
+        assert report.a_max == 0
+        assert report.worst_pair is None
+        assert "0 B" in report.render()
+
+    def test_render_mentions_pair_and_edges(self, split_plan):
+        report = explain_overhead(split_plan)
+        text = report.render()
+        assert f"{report.worst_pair[0]} -> {report.worst_pair[1]}" in text
+        assert "by program" in text
+
+    def test_cli_explain_flag(self, capsys):
+        from repro.cli import main
+
+        main(
+            [
+                "deploy",
+                "--workload",
+                "sketches:4",
+                "--topology",
+                "linear:2",
+                "--explain",
+            ]
+        )
+        assert "A_max" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Unit tests for selective hub replication."""
+
+import pytest
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.heuristic import GreedyHeuristic
+from repro.core.replication import (
+    replicate_cheap_hubs,
+    replication_cost,
+)
+from repro.core.verification import verify_dataflow
+from repro.network.generators import linear_topology
+from repro.workloads.sketches import sketch_programs
+from repro.workloads.synthetic import synthetic_programs
+
+
+@pytest.fixture
+def hub_tdg():
+    """Sketch programs sharing one flow_hash hub after merging."""
+    return ProgramAnalyzer().analyze(sketch_programs(6))
+
+
+class TestReplicateCheapHubs:
+    def test_hub_replaced_by_per_program_replicas(self, hub_tdg):
+        hubs_before = [
+            n
+            for n in hub_tdg.node_names
+            if any(
+                s.split(".", 1)[0] != n.split(".", 1)[0]
+                for s in hub_tdg.successors(n)
+            )
+        ]
+        assert hubs_before, "fixture needs a shared hub"
+        replicated = replicate_cheap_hubs(hub_tdg)
+        replicas = [n for n in replicated.node_names if "~replica" in n]
+        assert len(replicas) >= 2
+        for hub in hubs_before:
+            assert hub not in replicated
+
+    def test_no_cross_program_edges_from_replicas(self, hub_tdg):
+        replicated = replicate_cheap_hubs(hub_tdg)
+        for name in replicated.node_names:
+            if "~replica" not in name:
+                continue
+            program = name.split(".", 1)[0]
+            for succ in replicated.successors(name):
+                assert succ.split(".", 1)[0] == program
+
+    def test_total_metadata_preserved_per_edge(self, hub_tdg):
+        replicated = replicate_cheap_hubs(hub_tdg)
+        # Same number of consumer edges, same byte weights in total.
+        assert (
+            replicated.total_metadata_bytes()
+            == hub_tdg.total_metadata_bytes()
+        )
+
+    def test_cost_is_positive_when_hubs_exist(self, hub_tdg):
+        replicated = replicate_cheap_hubs(hub_tdg)
+        assert replication_cost(hub_tdg, replicated) > 0
+
+    def test_expensive_hubs_untouched(self, hub_tdg):
+        replicated = replicate_cheap_hubs(hub_tdg, max_demand=0.0)
+        assert sorted(replicated.node_names) == sorted(hub_tdg.node_names)
+
+    def test_original_graph_unmodified(self, hub_tdg):
+        names_before = sorted(hub_tdg.node_names)
+        replicate_cheap_hubs(hub_tdg)
+        assert sorted(hub_tdg.node_names) == names_before
+
+    def test_result_is_acyclic(self, hub_tdg):
+        replicate_cheap_hubs(hub_tdg).topological_order()
+
+
+class TestHeuristicWithReplication:
+    def test_auto_policy_never_worse_than_base(self):
+        programs = synthetic_programs(12, seed=3)
+        tdg = ProgramAnalyzer().analyze(programs)
+        # Generous capacity: replication inflates total demand.
+        net = linear_topology(16, num_stages=12, stage_capacity=1.0)
+        base = GreedyHeuristic().deploy(tdg, net)
+        auto = GreedyHeuristic(replicate_hubs="auto").deploy(tdg, net)
+        assert auto.max_metadata_bytes() <= base.max_metadata_bytes()
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError, match="replicate_hubs"):
+            GreedyHeuristic(replicate_hubs="maybe")
+
+    def test_replicated_plan_verifies(self):
+        programs = sketch_programs(8)
+        tdg = ProgramAnalyzer().analyze(programs)
+        net = linear_topology(8, num_stages=6, stage_capacity=1.0)
+        plan = GreedyHeuristic(replicate_hubs=True).deploy(tdg, net)
+        plan.validate()
+        verify_dataflow(plan)

@@ -1,0 +1,68 @@
+"""Unit tests for the grouped split order."""
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.core.heuristic import split_order
+from repro.tdg.graph import Tdg
+from repro.workloads.sketches import sketch_programs
+from repro.workloads.synthetic import synthetic_programs
+from tests.conftest import make_sketch_program
+
+
+def _contiguity_breaks(order):
+    """How many times the program prefix changes along the order."""
+    programs = [name.split(".", 1)[0] for name in order]
+    return sum(
+        1
+        for i in range(1, len(programs))
+        if programs[i] != programs[i - 1]
+    )
+
+
+class TestSplitOrder:
+    def test_is_topological(self):
+        programs = synthetic_programs(8, seed=2)
+        tdg = ProgramAnalyzer().analyze(programs)
+        order = split_order(tdg)
+        assert sorted(order) == sorted(tdg.node_names)
+        position = {name: i for i, name in enumerate(order)}
+        for edge in tdg.edges:
+            assert position[edge.upstream] < position[edge.downstream]
+
+    def test_independent_programs_fully_contiguous(self):
+        programs = [make_sketch_program(f"p{i}") for i in range(5)]
+        tdg = ProgramAnalyzer().analyze(programs)
+        order = split_order(tdg)
+        # 5 programs -> exactly 4 group changes.
+        assert _contiguity_breaks(order) == len(programs) - 1
+
+    def test_hub_connected_programs_stay_mostly_contiguous(self):
+        programs = synthetic_programs(10, seed=7)
+        tdg = ProgramAnalyzer().analyze(programs)
+        order = split_order(tdg)
+        dfs = tdg.topological_order(strategy="dfs")
+        # The grouped walk must fragment far less than raw DFS on
+        # hub-connected graphs.
+        assert _contiguity_breaks(order) <= _contiguity_breaks(dfs)
+        # Non-hub nodes of each program form one contiguous run (plus
+        # the leading hub block): bounded fragmentation.
+        assert _contiguity_breaks(order) <= 2 * len(programs)
+
+    def test_hubs_emitted_before_their_consumers(self):
+        programs = sketch_programs(6)
+        tdg = ProgramAnalyzer().analyze(programs)
+        order = split_order(tdg)
+        position = {name: i for i, name in enumerate(order)}
+        for name in tdg.node_names:
+            consumers_elsewhere = [
+                s
+                for s in tdg.successors(name)
+                if s.split(".", 1)[0] != name.split(".", 1)[0]
+            ]
+            for consumer in consumers_elsewhere:
+                assert position[name] < position[consumer]
+
+    def test_empty_and_single_node(self):
+        empty = Tdg("empty")
+        assert split_order(empty) == []
+        single = ProgramAnalyzer().analyze([make_sketch_program("solo")])
+        assert len(split_order(single)) == 3

@@ -1,0 +1,110 @@
+"""Unit tests for intra-switch stage assignment."""
+
+import pytest
+
+from repro.core.stages import StageAssignmentError, assign_stages, segment_fits
+from repro.dataplane.actions import no_op
+from repro.dataplane.mat import Mat
+from repro.network.switch import Switch
+from repro.tdg.dependencies import DependencyType
+from repro.tdg.graph import Tdg
+
+
+def chain_tdg(demands, bytes_per_edge=4):
+    tdg = Tdg("seg")
+    names = [f"m{i}" for i in range(len(demands))]
+    for name, demand in zip(names, demands):
+        tdg.add_node(Mat(name, actions=[no_op()], resource_demand=demand))
+    for up, down in zip(names, names[1:]):
+        tdg.add_edge(up, down, DependencyType.MATCH, bytes_per_edge)
+    return tdg
+
+
+def parallel_tdg(demands):
+    tdg = Tdg("par")
+    for i, demand in enumerate(demands):
+        tdg.add_node(Mat(f"m{i}", actions=[no_op()], resource_demand=demand))
+    return tdg
+
+
+class TestAssignStages:
+    def test_chain_occupies_consecutive_stages(self):
+        tdg = chain_tdg([0.5, 0.5, 0.5])
+        placements = assign_stages(tdg, Switch("s", num_stages=4))
+        assert placements["m0"].last_stage < placements["m1"].first_stage
+        assert placements["m1"].last_stage < placements["m2"].first_stage
+
+    def test_independent_mats_share_a_stage(self):
+        tdg = parallel_tdg([0.4, 0.4])
+        placements = assign_stages(tdg, Switch("s", num_stages=4))
+        assert placements["m0"].stages == placements["m1"].stages == (1,)
+
+    def test_capacity_forces_next_stage(self):
+        tdg = parallel_tdg([0.7, 0.7])
+        placements = assign_stages(tdg, Switch("s", num_stages=4))
+        stages = sorted(p.first_stage for p in placements.values())
+        assert stages == [1, 2]
+
+    def test_large_mat_spans_stages(self):
+        tdg = parallel_tdg([1.8])
+        placements = assign_stages(tdg, Switch("s", num_stages=4))
+        assert len(placements["m0"].stages) >= 2
+
+    def test_chain_deeper_than_pipeline_fails(self):
+        tdg = chain_tdg([0.1] * 5)
+        with pytest.raises(StageAssignmentError, match="stage"):
+            assign_stages(tdg, Switch("s", num_stages=4))
+
+    def test_demand_exceeding_switch_fails(self):
+        tdg = parallel_tdg([5.0])
+        with pytest.raises(StageAssignmentError):
+            assign_stages(tdg, Switch("s", num_stages=4))
+
+    def test_non_programmable_rejected(self):
+        tdg = parallel_tdg([0.1])
+        with pytest.raises(StageAssignmentError, match="programmable"):
+            assign_stages(tdg, Switch("s", programmable=False))
+
+    def test_bad_explicit_order_rejected(self):
+        tdg = chain_tdg([0.2, 0.2])
+        with pytest.raises(StageAssignmentError, match="order"):
+            assign_stages(tdg, Switch("s"), order=["m1", "m0"])
+
+    def test_respects_explicit_order(self):
+        tdg = parallel_tdg([0.9, 0.9])
+        placements = assign_stages(
+            tdg, Switch("s", num_stages=4), order=["m1", "m0"]
+        )
+        assert placements["m1"].first_stage <= placements["m0"].first_stage
+
+    def test_placements_respect_capacity(self):
+        tdg = parallel_tdg([0.3] * 10)
+        switch = Switch("s", num_stages=4)
+        placements = assign_stages(tdg, switch)
+        load = {}
+        for p in placements.values():
+            mat = tdg.node(p.mat_name)
+            share = mat.resource_demand / len(p.stages)
+            for stage in p.stages:
+                load[stage] = load.get(stage, 0.0) + share
+        assert all(v <= switch.stage_capacity + 1e-9 for v in load.values())
+
+
+class TestSegmentFits:
+    def test_fits_small_segment(self):
+        assert segment_fits(chain_tdg([0.2, 0.2]), Switch("s"))
+
+    def test_rejects_aggregate_overflow(self):
+        assert not segment_fits(
+            parallel_tdg([1.0] * 20), Switch("s", num_stages=4)
+        )
+
+    def test_rejects_deep_chain(self):
+        assert not segment_fits(
+            chain_tdg([0.01] * 13), Switch("s", num_stages=12)
+        )
+
+    def test_rejects_non_programmable(self):
+        assert not segment_fits(
+            chain_tdg([0.1]), Switch("s", programmable=False)
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for repro.dataplane.actions."""
+
+import pytest
+
+from repro.dataplane.actions import (
+    Action,
+    ActionPrimitive,
+    counter_update,
+    drop,
+    forward,
+    hash_compute,
+    modify,
+    no_op,
+)
+from repro.dataplane.fields import header_field, metadata_field
+
+
+class TestAction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Action("")
+
+    def test_read_write_sets(self):
+        src = header_field("ipv4.src", 32)
+        out = metadata_field("m.out", 32)
+        action = Action(
+            "a", ActionPrimitive.MODIFY_FIELD, reads=(src,), writes=(out,)
+        )
+        assert action.read_set.names == frozenset({"ipv4.src"})
+        assert action.write_set.names == frozenset({"m.out"})
+
+    def test_alu_costs_ordered(self):
+        assert ActionPrimitive.NO_OP.alu_cost == 0
+        assert ActionPrimitive.MODIFY_FIELD.alu_cost == 1
+        assert ActionPrimitive.HASH.alu_cost == 2
+        assert Action("x", ActionPrimitive.HASH).alu_cost == 2
+
+    def test_every_primitive_has_a_cost(self):
+        for primitive in ActionPrimitive:
+            assert primitive.alu_cost >= 0
+
+
+class TestConstructors:
+    def test_no_op_touches_nothing(self):
+        action = no_op()
+        assert not action.reads
+        assert not action.writes
+
+    def test_forward_writes_port(self):
+        port = metadata_field("m.port", 16)
+        action = forward(port)
+        assert action.primitive is ActionPrimitive.FORWARD
+        assert action.write_set.names == frozenset({"m.port"})
+
+    def test_drop(self):
+        assert drop().primitive is ActionPrimitive.DROP
+
+    def test_modify_reads_sources_writes_target(self):
+        a = header_field("a", 8)
+        b = metadata_field("b", 8)
+        action = modify(b, [a])
+        assert action.read_set.names == frozenset({"a"})
+        assert action.write_set.names == frozenset({"b"})
+
+    def test_modify_generates_name(self):
+        target = metadata_field("meta.x", 8)
+        assert modify(target).name == "set_meta_x"
+
+    def test_hash_compute(self):
+        out = metadata_field("m.idx", 32)
+        src = header_field("ipv4.src", 32)
+        action = hash_compute(out, [src])
+        assert action.primitive is ActionPrimitive.HASH
+        assert action.write_set.names == frozenset({"m.idx"})
+        assert action.read_set.names == frozenset({"ipv4.src"})
+
+    def test_counter_update_with_result(self):
+        idx = metadata_field("m.idx", 32)
+        val = metadata_field("m.val", 32)
+        action = counter_update(idx, val)
+        assert action.primitive is ActionPrimitive.COUNTER
+        assert action.read_set.names == frozenset({"m.idx"})
+        assert action.write_set.names == frozenset({"m.val"})
+
+    def test_counter_update_without_result_writes_nothing(self):
+        idx = metadata_field("m.idx", 32)
+        assert not counter_update(idx).writes

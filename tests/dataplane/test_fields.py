@@ -1,0 +1,123 @@
+"""Unit tests for repro.dataplane.fields."""
+
+import pytest
+
+from repro.dataplane.fields import (
+    Field,
+    FieldKind,
+    FieldSet,
+    header_field,
+    metadata_field,
+    standard_headers,
+)
+
+
+class TestField:
+    def test_size_rounds_up_to_bytes(self):
+        assert Field("f", 1).size_bytes == 1
+        assert Field("f", 8).size_bytes == 1
+        assert Field("f", 9).size_bytes == 2
+        assert Field("f", 48).size_bytes == 6
+        assert Field("f", 128).size_bytes == 16
+
+    def test_kind_predicates(self):
+        assert header_field("h", 8).is_header
+        assert not header_field("h", 8).is_metadata
+        assert metadata_field("m", 8).is_metadata
+        assert not metadata_field("m", 8).is_header
+
+    def test_default_kind_is_header(self):
+        assert Field("f", 8).kind is FieldKind.HEADER
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Field("", 8)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="positive width"):
+            Field("f", 0)
+        with pytest.raises(ValueError, match="positive width"):
+            Field("f", -4)
+
+    def test_equality_and_hash(self):
+        assert metadata_field("m", 32) == metadata_field("m", 32)
+        assert hash(metadata_field("m", 32)) == hash(metadata_field("m", 32))
+        assert metadata_field("m", 32) != header_field("m", 32)
+
+    def test_ordering_is_by_name(self):
+        fields = sorted([Field("b", 8), Field("a", 8)])
+        assert [f.name for f in fields] == ["a", "b"]
+
+
+class TestFieldSet:
+    def test_deduplicates_identical_fields(self):
+        f = metadata_field("m", 32)
+        fs = FieldSet([f, f, f])
+        assert len(fs) == 1
+
+    def test_rejects_conflicting_definitions(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            FieldSet([metadata_field("m", 32), metadata_field("m", 16)])
+
+    def test_contains_by_field_and_name(self):
+        f = metadata_field("m", 32)
+        fs = FieldSet([f])
+        assert f in fs
+        assert "m" in fs
+        assert "other" not in fs
+        assert 42 not in fs
+
+    def test_union_preserves_distinct(self):
+        a = FieldSet([metadata_field("a", 8)])
+        b = FieldSet([metadata_field("b", 8), metadata_field("a", 8)])
+        assert len(a.union(b)) == 2
+
+    def test_intersection(self):
+        a = FieldSet([metadata_field("a", 8), metadata_field("b", 8)])
+        b = FieldSet([metadata_field("b", 8), metadata_field("c", 8)])
+        assert a.intersection(b).names == frozenset({"b"})
+
+    def test_metadata_bytes_ignores_headers(self):
+        fs = FieldSet(
+            [
+                header_field("h", 32),
+                metadata_field("m1", 32),
+                metadata_field("m2", 48),
+            ]
+        )
+        assert fs.metadata_bytes() == 4 + 6
+        assert fs.total_bytes() == 4 + 4 + 6
+
+    def test_metadata_only_filter(self):
+        fs = FieldSet([header_field("h", 32), metadata_field("m", 32)])
+        assert fs.metadata_only().names == frozenset({"m"})
+
+    def test_empty_set_sums_to_zero(self):
+        assert FieldSet().metadata_bytes() == 0
+        assert FieldSet().total_bytes() == 0
+
+    def test_equality_is_order_insensitive(self):
+        a = FieldSet([metadata_field("a", 8), metadata_field("b", 8)])
+        b = FieldSet([metadata_field("b", 8), metadata_field("a", 8)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_against_non_fieldset(self):
+        assert FieldSet() != "not a fieldset"
+
+
+class TestStandardHeaders:
+    def test_all_entries_are_header_fields(self):
+        for field in standard_headers().values():
+            assert field.is_header
+
+    def test_common_fields_present_with_sizes(self):
+        hdr = standard_headers()
+        assert hdr["ipv4.src_addr"].width_bits == 32
+        assert hdr["ethernet.dst_addr"].width_bits == 48
+        assert hdr["tcp.src_port"].width_bits == 16
+        assert hdr["ipv6.src_addr"].size_bytes == 16
+
+    def test_keys_match_field_names(self):
+        for name, field in standard_headers().items():
+            assert name == field.name

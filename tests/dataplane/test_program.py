@@ -1,0 +1,89 @@
+"""Unit tests for repro.dataplane.program."""
+
+import pytest
+
+from repro.dataplane.actions import modify, no_op
+from repro.dataplane.fields import header_field, metadata_field
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program, ProgramValidationError
+
+
+def mat(name, writes=None, demand=0.2):
+    actions = [modify(writes)] if writes is not None else [no_op()]
+    return Mat(name, actions=actions, resource_demand=demand)
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ProgramValidationError):
+            Program("", [mat("a")])
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(ProgramValidationError, match="no MATs"):
+            Program("p", [])
+
+    def test_rejects_duplicate_mat_names(self):
+        with pytest.raises(ProgramValidationError, match="duplicate"):
+            Program("p", [mat("a"), mat("a")])
+
+    def test_conditional_gate_must_exist(self):
+        with pytest.raises(ProgramValidationError, match="gate"):
+            Program("p", [mat("a"), mat("b")], [("ghost", "b")])
+
+    def test_conditional_gated_must_exist(self):
+        with pytest.raises(ProgramValidationError, match="not a MAT"):
+            Program("p", [mat("a"), mat("b")], [("a", "ghost")])
+
+    def test_conditional_must_respect_order(self):
+        with pytest.raises(ProgramValidationError, match="precede"):
+            Program("p", [mat("a"), mat("b")], [("b", "a")])
+
+
+class TestQueries:
+    def test_positions_follow_pipeline_order(self):
+        p = Program("p", [mat("a"), mat("b"), mat("c")])
+        assert p.position("a") == 0
+        assert p.position("c") == 2
+        assert p.executes_before("a", "c")
+        assert not p.executes_before("c", "a")
+
+    def test_mat_lookup(self):
+        p = Program("p", [mat("a")])
+        assert p.mat("a").name == "a"
+        with pytest.raises(KeyError):
+            p.mat("ghost")
+
+    def test_is_conditional(self):
+        p = Program("p", [mat("a"), mat("b")], [("a", "b")])
+        assert p.is_conditional("a", "b")
+        assert not p.is_conditional("b", "a")
+
+    def test_total_resource_demand(self):
+        p = Program("p", [mat("a", demand=0.2), mat("b", demand=0.3)])
+        assert p.total_resource_demand == pytest.approx(0.5)
+
+    def test_writers_and_matchers(self):
+        field = metadata_field("m.f", 8)
+        writer = Mat("w", actions=[modify(field)])
+        reader = Mat(
+            "r", match_fields=[field], actions=[no_op()]
+        )
+        p = Program("p", [writer, reader])
+        assert [m.name for m in p.writers_of("m.f")] == ["w"]
+        assert [m.name for m in p.matchers_of("m.f")] == ["r"]
+
+    def test_field_names_cover_all_references(self):
+        field = metadata_field("m.f", 8)
+        hdr = header_field("ipv4.src", 32)
+        p = Program(
+            "p",
+            [
+                Mat("w", match_fields=[hdr], actions=[modify(field)]),
+            ],
+        )
+        assert p.field_names() == {"m.f", "ipv4.src"}
+
+    def test_len_and_iter(self):
+        p = Program("p", [mat("a"), mat("b")])
+        assert len(p) == 2
+        assert [m.name for m in p] == ["a", "b"]

@@ -1,0 +1,88 @@
+"""Unit tests for repro.dataplane.rules."""
+
+import pytest
+
+from repro.dataplane.rules import MatchKind, MatchSpec, Rule
+
+
+class TestMatchKind:
+    def test_tcam_requirements(self):
+        assert not MatchKind.EXACT.needs_tcam
+        assert MatchKind.LPM.needs_tcam
+        assert MatchKind.TERNARY.needs_tcam
+        assert MatchKind.RANGE.needs_tcam
+
+
+class TestMatchSpec:
+    def test_requires_field_name(self):
+        with pytest.raises(ValueError, match="field name"):
+            MatchSpec("")
+
+    def test_exact_rejects_mask(self):
+        with pytest.raises(ValueError, match="no mask"):
+            MatchSpec("f", MatchKind.EXACT, 1, mask_or_prefix=0xFF)
+
+    def test_exact_matching(self):
+        spec = MatchSpec("f", MatchKind.EXACT, 42)
+        assert spec.matches(42, 32)
+        assert not spec.matches(41, 32)
+
+    def test_ternary_matching(self):
+        spec = MatchSpec("f", MatchKind.TERNARY, 0b1010, mask_or_prefix=0b1110)
+        assert spec.matches(0b1010, 8)
+        assert spec.matches(0b1011, 8)  # last bit masked out
+        assert not spec.matches(0b0010, 8)
+
+    def test_lpm_matching(self):
+        # 10.0.0.0/8
+        spec = MatchSpec(
+            "ipv4.dst", MatchKind.LPM, 10 << 24, mask_or_prefix=8
+        )
+        assert spec.matches((10 << 24) | 12345, 32)
+        assert not spec.matches(11 << 24, 32)
+
+    def test_lpm_zero_prefix_matches_everything(self):
+        spec = MatchSpec("f", MatchKind.LPM, 0, mask_or_prefix=0)
+        assert spec.matches(0xFFFFFFFF, 32)
+
+    def test_range_matching(self):
+        spec = MatchSpec("port", MatchKind.RANGE, 1024, mask_or_prefix=2048)
+        assert spec.matches(1024, 16)
+        assert spec.matches(2048, 16)
+        assert not spec.matches(1023, 16)
+        assert not spec.matches(2049, 16)
+
+    def test_range_requires_upper_bound(self):
+        spec = MatchSpec("port", MatchKind.RANGE, 1024)
+        with pytest.raises(ValueError, match="upper bound"):
+            spec.matches(1500, 16)
+
+
+class TestRule:
+    def test_rejects_duplicate_match_fields(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Rule(matches=(MatchSpec("f"), MatchSpec("f")))
+
+    def test_spec_lookup(self):
+        rule = Rule(matches=(MatchSpec("a", value=1), MatchSpec("b", value=2)))
+        assert rule.spec_for("a").value == 1
+        assert rule.spec_for("missing") is None
+
+    def test_matches_packet_all_specs(self):
+        rule = Rule(
+            matches=(
+                MatchSpec("a", MatchKind.EXACT, 1),
+                MatchSpec("b", MatchKind.EXACT, 2),
+            ),
+            action_name="act",
+        )
+        widths = {"a": 32, "b": 32}
+        assert rule.matches_packet({"a": 1, "b": 2}, widths)
+        assert not rule.matches_packet({"a": 1, "b": 3}, widths)
+
+    def test_missing_field_never_matches(self):
+        rule = Rule(matches=(MatchSpec("a", MatchKind.EXACT, 1),))
+        assert not rule.matches_packet({}, {"a": 32})
+
+    def test_wildcard_rule_matches_everything(self):
+        assert Rule().matches_packet({"x": 7}, {"x": 32})

@@ -1,0 +1,223 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_topology, parse_workload
+
+
+class TestParseWorkload:
+    def test_real(self):
+        assert len(parse_workload("real:4")) == 4
+
+    def test_sketches(self):
+        assert len(parse_workload("sketches:3")) == 3
+
+    def test_synthetic_with_seed(self):
+        a = parse_workload("synthetic:2:5")
+        b = parse_workload("synthetic:2:5")
+        assert len(a) == 2
+        assert [p.name for p in a] == [p.name for p in b]
+
+    def test_combined(self):
+        programs = parse_workload("real:2+sketches:2+synthetic:2")
+        assert len(programs) == 6
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="workload kind"):
+            parse_workload("quantum:3")
+
+
+class TestParseTopology:
+    def test_zoo(self):
+        net = parse_topology("zoo:1")
+        assert net.num_switches == 79
+
+    def test_linear(self):
+        assert parse_topology("linear:4").num_switches == 4
+
+    def test_fattree(self):
+        assert parse_topology("fattree:4").num_switches == 20
+
+    def test_wan(self):
+        net = parse_topology("wan:12:16:3")
+        assert net.num_switches == 12
+        assert net.num_links == 16
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="topology kind"):
+            parse_topology("torus:3")
+
+
+class TestCommands:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        for command in ("fig2", "exp1", "exp2", "exp5", "exp6", "deploy"):
+            args = parser.parse_args(
+                [command]
+                if command not in ("deploy",)
+                else [command, "--workload", "real:2"]
+            )
+            assert args.command == command
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_exp6_runs(self, capsys):
+        assert main(["exp6"]) == 0
+        assert "Exp#6" in capsys.readouterr().out
+
+    def test_deploy_runs_with_verify(self, capsys):
+        code = main(
+            [
+                "deploy",
+                "--workload",
+                "sketches:4",
+                "--topology",
+                "linear:3",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-packet byte overhead" in out
+        assert "dataflow verified" in out
+
+    def test_deploy_emits_configs(self, capsys):
+        code = main(
+            [
+                "deploy",
+                "--workload",
+                "real:2",
+                "--topology",
+                "linear:2",
+                "--configs",
+            ]
+        )
+        assert code == 0
+        assert '"stages"' in capsys.readouterr().out
+
+    def test_exp2_reduced_runs(self, capsys):
+        code = main(
+            [
+                "exp2",
+                "--topologies",
+                "2",
+                "--programs",
+                "6",
+                "--time-limit",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+
+class TestMoreCommands:
+    def test_exp3_and_exp4_share_exp2_machinery(self, capsys):
+        assert (
+            main(
+                [
+                    "exp3",
+                    "--topologies",
+                    "2",
+                    "--programs",
+                    "6",
+                    "--time-limit",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "Fig. 7" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "exp4",
+                    "--topologies",
+                    "2",
+                    "--programs",
+                    "6",
+                    "--time-limit",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_exp5_reduced(self, capsys):
+        assert (
+            main(
+                [
+                    "exp5",
+                    "--programs-sweep",
+                    "4",
+                    "--time-limit",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_deploy_optimal_mode(self, capsys):
+        code = main(
+            [
+                "deploy",
+                "--workload",
+                "sketches:3",
+                "--topology",
+                "linear:2",
+                "--mode",
+                "optimal",
+                "--time-limit",
+                "15",
+            ]
+        )
+        assert code == 0
+        assert "A_max" in capsys.readouterr().out
+
+    def test_deploy_with_replication_flag(self, capsys):
+        code = main(
+            [
+                "deploy",
+                "--workload",
+                "sketches:4",
+                "--topology",
+                "linear:3",
+                "--replicate",
+            ]
+        )
+        assert code == 0
+
+
+class TestJsonExport:
+    def test_exp2_exports_rows(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.json"
+        code = main(
+            [
+                "exp2",
+                "--topologies",
+                "2",
+                "--programs",
+                "4",
+                "--time-limit",
+                "3",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        import json
+
+        rows = json.loads(out_path.read_text())
+        assert rows
+        assert {"topology", "framework", "overhead_bytes"} <= set(rows[0])
+
+
+def test_quick_report(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "quick report" in out
+    assert "headline" in out

@@ -1,0 +1,40 @@
+"""Tests for the trace-weighted overhead study."""
+
+from repro.baselines import Ffl, HermesHeuristic
+from repro.experiments.trace_study import TraceStudyRow, main, run
+from repro.simulation.traces import TraceConfig
+
+
+def small_rows():
+    return run(
+        topology_id=2,
+        num_programs=8,
+        frameworks=[HermesHeuristic(), Ffl()],
+        trace_config=TraceConfig(num_flows=100),
+    )
+
+
+class TestTraceStudy:
+    def test_rows_cover_frameworks(self):
+        rows = small_rows()
+        assert {row.framework for row in rows} == {"Hermes", "FFL"}
+        for row in rows:
+            assert isinstance(row, TraceStudyRow)
+            assert row.metrics.mean_fct_us > 0
+
+    def test_hermes_no_worse_on_trace(self):
+        rows = {row.framework: row for row in small_rows()}
+        assert (
+            rows["Hermes"].metrics.mean_slowdown
+            <= rows["FFL"].metrics.mean_slowdown
+        )
+        assert (
+            rows["Hermes"].metrics.total_wire_bytes
+            <= rows["FFL"].metrics.total_wire_bytes
+        )
+
+    def test_main_renders_table(self, capsys):
+        rows = small_rows()
+        out = main(rows)
+        assert "Trace study" in out
+        assert "Hermes" in out

@@ -1,0 +1,65 @@
+"""Tests for the ASCII plan visualizer."""
+
+from repro.core import Hermes
+from repro.experiments.visualize import render_plan, switch_box
+from repro.network import linear_topology
+from tests.conftest import make_sketch_program
+
+
+def split_plan():
+    programs = [make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(3)]
+    net = linear_topology(6, num_stages=2, stage_capacity=1.0)
+    return Hermes().deploy(programs, net).plan
+
+
+class TestSwitchBox:
+    def test_box_contains_every_mat(self):
+        plan = split_plan()
+        for switch in plan.occupied_switches():
+            box = "\n".join(switch_box(plan, switch))
+            for mat_name in plan.mats_on(switch):
+                assert mat_name[:12] in box
+
+    def test_box_has_borders(self):
+        plan = split_plan()
+        box = switch_box(plan, plan.occupied_switches()[0])
+        assert box[0].startswith("+")
+        assert box[-1].startswith("+")
+
+
+class TestRenderPlan:
+    def test_mentions_all_switches_and_summary(self):
+        plan = split_plan()
+        out = render_plan(plan)
+        for switch in plan.occupied_switches():
+            assert f"- {switch} " in out
+        assert f"A_max = {plan.max_metadata_bytes()} B" in out
+
+    def test_channels_labelled_with_bytes(self):
+        plan = split_plan()
+        out = render_plan(plan)
+        for (u, v), total in plan.pair_metadata_bytes().items():
+            assert f"={total}B=> {v}" in out
+
+    def test_single_switch_plan(self):
+        programs = [make_sketch_program("solo")]
+        net = linear_topology(1, num_stages=4)
+        plan = Hermes().deploy(programs, net).plan
+        out = render_plan(plan)
+        assert "0 channels" in out
+
+    def test_cli_diagram_flag(self, capsys):
+        from repro.cli import main
+
+        main(
+            [
+                "deploy",
+                "--workload",
+                "sketches:3",
+                "--topology",
+                "linear:2",
+                "--diagram",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "A_max =" in out

@@ -1,0 +1,191 @@
+"""Tests for the PINT overhead-bounding extension."""
+
+import math
+
+import pytest
+
+from repro.core import CoordinationAnalysis, Hermes
+from repro.extensions.pint import (
+    PintChannel,
+    PintCollector,
+    coupon_collector_packets,
+    simulate_coverage,
+)
+from repro.network import linear_topology
+from tests.conftest import make_sketch_program
+
+
+from repro.core.coordination import MetadataChannel
+from repro.dataplane.fields import metadata_field
+
+
+@pytest.fixture
+def channel():
+    """A coordination channel carrying six 4-byte telemetry fields."""
+    fields = [metadata_field(f"tel.f{i}", 32) for i in range(6)]
+    layout = []
+    offset = 0
+    for fld in fields:
+        layout.append((fld, offset))
+        offset += fld.size_bytes
+    return MetadataChannel(
+        source="s0",
+        destination="s1",
+        edges=[],
+        declared_bytes=offset,
+        layout=layout,
+        layout_bytes=offset,
+    )
+
+
+def test_pint_applies_to_real_deployment_channels():
+    """End to end: bound a channel produced by an actual deployment."""
+    programs = [
+        make_sketch_program(f"p{i}", index_bytes=4, value_bytes=4)
+        for i in range(4)
+    ]
+    net = linear_topology(8, num_stages=2, stage_capacity=1.0)
+    plan = Hermes().deploy(programs, net).plan
+    analysis = CoordinationAnalysis(plan)
+    real = max(analysis.channels.values(), key=lambda c: len(c.layout))
+    pint = PintChannel(real, budget_bytes=real.layout_bytes)
+    assert pint.wire_bytes(0) <= real.layout_bytes
+
+
+class TestCouponCollector:
+    def test_one_field(self):
+        assert coupon_collector_packets(1, 1) == pytest.approx(1.0)
+
+    def test_whole_set_per_packet(self):
+        assert coupon_collector_packets(10, 10) == 1.0
+        assert coupon_collector_packets(10, 20) == 1.0
+
+    def test_classic_formula(self):
+        # n=4, k=1: 4 * (1 + 1/2 + 1/3 + 1/4) = 8.333...
+        assert coupon_collector_packets(4, 1) == pytest.approx(25 / 3)
+
+    def test_batching_divides_time(self):
+        assert coupon_collector_packets(12, 3) == pytest.approx(
+            coupon_collector_packets(12, 1) / 3
+        )
+
+    def test_degenerate(self):
+        assert coupon_collector_packets(0, 1) == 0.0
+        assert math.isinf(coupon_collector_packets(4, 0))
+
+
+class TestPintChannel:
+    def test_budget_must_fit_largest_field(self, channel):
+        largest = max(f.size_bytes for f, _off in channel.layout)
+        with pytest.raises(ValueError, match="cannot fit"):
+            PintChannel(channel, budget_bytes=largest - 1)
+
+    def test_wire_bytes_never_exceed_budget(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        for packet_id in range(200):
+            assert pint.wire_bytes(packet_id) <= 4
+
+    def test_bounded_below_full_header(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        assert pint.full_bytes > 4
+
+    def test_selection_is_deterministic(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        for packet_id in (0, 17, 91):
+            a = [f.name for f in pint.select_fields(packet_id)]
+            b = [f.name for f in pint.select_fields(packet_id)]
+            assert a == b
+
+    def test_selection_varies_across_packets(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        subsets = {
+            tuple(f.name for f in pint.select_fields(pid))
+            for pid in range(50)
+        }
+        assert len(subsets) > 1
+
+    def test_encode_requires_values(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        with pytest.raises(KeyError):
+            pint.encode(0, {})
+
+
+class TestCollector:
+    def _values(self, channel):
+        return {f.name: i for i, (f, _off) in enumerate(channel.layout)}
+
+    def test_coverage_reaches_one(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        values = self._values(channel)
+        curve, completed = simulate_coverage(pint, values, 500)
+        assert curve[-1] == 1.0
+        assert completed is not None
+
+    def test_coverage_monotone(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        curve, _done = simulate_coverage(pint, self._values(channel), 100)
+        assert curve == sorted(curve)
+
+    def test_reconstructed_values_correct(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        values = self._values(channel)
+        collector = PintCollector(pint)
+        packet_id = 0
+        while not collector.complete:
+            collector.observe(packet_id, pint.encode(packet_id, values))
+            packet_id += 1
+            assert packet_id < 10_000
+        for name, value in values.items():
+            assert collector.value(name) == value
+
+    def test_unobserved_value_raises(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        collector = PintCollector(pint)
+        with pytest.raises(KeyError, match="coverage"):
+            collector.value(pint.fields[0].name)
+
+    def test_completion_near_coupon_estimate(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        values = self._values(channel)
+        _curve, completed = simulate_coverage(pint, values, 2000)
+        estimate = pint.expected_completion_packets()
+        # Hash-based sampling is deterministic, not iid, but should
+        # land within a small factor of the coupon-collector estimate.
+        assert completed <= max(10, 6 * estimate)
+
+    def test_bigger_budget_completes_faster(self, channel):
+        values = self._values(channel)
+        small = simulate_coverage(
+            PintChannel(channel, budget_bytes=4), values, 2000
+        )[1]
+        big_budget = min(channel.layout_bytes, 12)
+        big = simulate_coverage(
+            PintChannel(channel, budget_bytes=big_budget), values, 2000
+        )[1]
+        assert big <= small
+
+
+class TestLossyPaths:
+    def _values(self, channel):
+        return {f.name: i for i, (f, _off) in enumerate(channel.layout)}
+
+    def test_loss_slows_coverage(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        values = self._values(channel)
+        _curve, clean = simulate_coverage(pint, values, 2000)
+        _curve, lossy = simulate_coverage(
+            pint, values, 2000, loss_rate=0.5, seed=3
+        )
+        assert lossy >= clean
+
+    def test_loss_rate_validated(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        with pytest.raises(ValueError):
+            simulate_coverage(pint, self._values(channel), 10, loss_rate=1.0)
+
+    def test_loss_deterministic_per_seed(self, channel):
+        pint = PintChannel(channel, budget_bytes=4)
+        values = self._values(channel)
+        a = simulate_coverage(pint, values, 200, loss_rate=0.3, seed=5)
+        b = simulate_coverage(pint, values, 200, loss_rate=0.3, seed=5)
+        assert a == b

@@ -1,0 +1,211 @@
+"""Unit tests for the branch & bound MILP solver."""
+
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.branch_bound import BranchBoundSolver, solve
+from repro.milp.solution import SolveStatus
+
+
+class TestBasicSolves:
+    def test_pure_lp(self):
+        m = Model()
+        x = m.add_var("x", 0, 10)
+        m.add_constr(x >= 2.5)
+        m.minimize(x)
+        s = solve(m)
+        assert s.status is SolveStatus.OPTIMAL
+        assert s.objective == pytest.approx(2.5)
+
+    def test_binary_knapsack(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(4)]
+        weights = [3, 4, 2, 5]
+        values = [10, 13, 7, 16]
+        m.add_constr(
+            LinExpr.total(w * x for w, x in zip(weights, xs)) <= 7
+        )
+        m.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+        s = solve(m)
+        assert s.status is SolveStatus.OPTIMAL
+        assert s.objective == pytest.approx(23)  # items 1 and 0... 13+10
+
+    def test_integer_rounding_not_naive(self):
+        # LP optimum x=2.5; integer optimum must branch.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constr(2 * x + 2 * y >= 5)
+        m.minimize(x + y)
+        s = solve(m)
+        assert s.objective == pytest.approx(3)
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        a = m.add_integer("a", 0, 10)
+        b = m.add_var("b", 0, 5)
+        m.add_constr(2 * a + b >= 7.5)
+        m.minimize(3 * a + b)
+        s = solve(m)
+        assert s.objective == pytest.approx(9.5)
+        assert s[a] == pytest.approx(2)
+        assert s[b] == pytest.approx(3.5)
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constr(x + y == 7)
+        m.minimize(2 * x + y)
+        s = solve(m)
+        assert s.objective == pytest.approx(7)
+        assert s.rounded(x) == 0 and s.rounded(y) == 7
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constr(x >= 2)
+        assert solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_integer_infeasible_despite_lp_feasible(self):
+        # 2x == 1 has LP solution 0.5 but no integer solution.
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        m.add_constr(2 * x == 1)
+        m.minimize(x)
+        assert solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x", 0, float("inf"))
+        m.maximize(x)
+        assert solve(m).status is SolveStatus.UNBOUNDED
+
+    def test_optimal_has_zero_gap(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        s = solve(m)
+        assert s.gap == 0.0
+
+    def test_solution_bookkeeping(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        s = solve(m)
+        assert s.lp_solves >= 1
+        assert s.wall_time_s >= 0
+        assert s.value(x) == 0.0
+
+
+class TestHardKnapsack:
+    def test_larger_knapsack_exact(self):
+        # Compare against brute force.
+        import itertools
+
+        weights = [5, 7, 4, 3, 8, 6, 9, 2]
+        values = [10, 13, 7, 5, 16, 11, 17, 3]
+        cap = 17
+        best = max(
+            sum(v for v, pick in zip(values, picks) if pick)
+            for picks in itertools.product((0, 1), repeat=8)
+            if sum(w for w, pick in zip(weights, picks) if pick) <= cap
+        )
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(8)]
+        m.add_constr(
+            LinExpr.total(w * x for w, x in zip(weights, xs)) <= cap
+        )
+        m.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+        s = solve(m)
+        assert s.objective == pytest.approx(best)
+
+    def test_bin_packing_min_bins(self):
+        # 4 items of size 0.6 into bins of size 1.0 -> 4 bins;
+        # mix with 0.4 items -> pairs fit.
+        sizes = [0.6, 0.6, 0.4, 0.4]
+        num_bins = 4
+        m = Model()
+        x = {
+            (i, b): m.add_binary(f"x{i}_{b}")
+            for i in range(len(sizes))
+            for b in range(num_bins)
+        }
+        used = [m.add_binary(f"u{b}") for b in range(num_bins)]
+        for i in range(len(sizes)):
+            m.add_constr(
+                LinExpr.total(x[(i, b)] for b in range(num_bins)) == 1
+            )
+        for b in range(num_bins):
+            m.add_constr(
+                LinExpr.total(
+                    sizes[i] * x[(i, b)] for i in range(len(sizes))
+                )
+                <= used[b]
+            )
+        m.minimize(LinExpr.total(used))
+        s = solve(m)
+        assert s.objective == pytest.approx(2)
+
+
+class TestLimits:
+    def test_time_limit_returns_quickly(self):
+        import time
+
+        m = Model()
+        # A deliberately awkward model: many symmetric binaries.
+        xs = [m.add_binary(f"x{i}") for i in range(40)]
+        m.add_constr(LinExpr.total(xs) == 20)
+        m.minimize(
+            LinExpr.total((1 + 0.001 * i) * x for i, x in enumerate(xs))
+        )
+        start = time.perf_counter()
+        solver = BranchBoundSolver(time_limit_s=0.5)
+        s = solver.solve(m)
+        assert time.perf_counter() - start < 10
+        assert s.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+            SolveStatus.TIME_LIMIT,
+        )
+
+    def test_rejects_bad_time_limit(self):
+        with pytest.raises(ValueError):
+            BranchBoundSolver(time_limit_s=0)
+
+    def test_node_limit(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(30)]
+        m.add_constr(LinExpr.total(xs) == 15)
+        m.minimize(LinExpr.total((1 + 0.01 * i) * x for i, x in enumerate(xs)))
+        solver = BranchBoundSolver(node_limit=3)
+        s = solver.solve(m)
+        assert s.nodes_explored <= 3
+
+
+class TestWeakRelaxations:
+    def test_min_indicator_objective_finds_incumbent(self):
+        # min sum(occ) with occ >= x and coverage constraints: LP sits
+        # on a fractional plateau; the dive must still find a solution.
+        m = Model()
+        items = range(12)
+        bins = range(3)
+        x = {
+            (i, b): m.add_binary(f"x{i}_{b}") for i in items for b in bins
+        }
+        occ = {b: m.add_binary(f"occ{b}") for b in bins}
+        for i in items:
+            m.add_constr(LinExpr.total(x[(i, b)] for b in bins) == 1)
+        for b in bins:
+            for i in items:
+                m.add_constr(occ[b] >= x[(i, b)])
+            m.add_constr(
+                LinExpr.total(0.3 * x[(i, b)] for i in items) <= 2.0
+            )
+        m.minimize(LinExpr.total(occ.values()))
+        s = BranchBoundSolver(time_limit_s=20).solve(m)
+        assert s.status.has_solution
+        assert s.objective == pytest.approx(2)  # 12*0.3=3.6 needs 2 bins

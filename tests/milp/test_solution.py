@@ -1,0 +1,47 @@
+"""Unit tests for the Solution container."""
+
+import pytest
+
+from repro.milp.model import Model
+from repro.milp.solution import Solution, SolveStatus
+
+
+@pytest.fixture
+def solved():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_var("y", 0, 5)
+    solution = Solution(
+        SolveStatus.OPTIMAL,
+        objective=3.0,
+        values={x: 1.0, y: 2.5},
+        nodes_explored=4,
+        lp_solves=9,
+        wall_time_s=0.1,
+        gap=0.0,
+    )
+    return model, x, y, solution
+
+
+class TestSolution:
+    def test_accessors(self, solved):
+        _model, x, y, solution = solved
+        assert solution[x] == 1.0
+        assert solution.value(y) == 2.5
+        assert solution.rounded(x) == 1
+
+    def test_value_default(self, solved):
+        model, *_vars, solution = solved
+        ghost = model.add_var("ghost")
+        assert solution.value(ghost, default=7.0) == 7.0
+
+    def test_status_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+        assert not SolveStatus.TIME_LIMIT.has_solution
+
+    def test_repr_handles_missing_objective(self):
+        text = repr(Solution(SolveStatus.INFEASIBLE))
+        assert "infeasible" in text

@@ -1,0 +1,96 @@
+"""Tests for solver warm starting."""
+
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.branch_bound import BranchBoundSolver
+from repro.milp.solution import SolveStatus
+
+
+def knapsack():
+    model = Model("k")
+    weights = [3, 4, 2, 5]
+    values = [10, 13, 7, 16]
+    xs = [model.add_binary(f"x{i}") for i in range(4)]
+    model.add_constr(
+        LinExpr.total(w * x for w, x in zip(weights, xs)) <= 7
+    )
+    model.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestWarmStart:
+    def test_feasible_initial_becomes_incumbent(self):
+        model, xs = knapsack()
+        initial = {xs[0]: 1.0}  # value 10, feasible
+        solution = BranchBoundSolver(time_limit_s=30).solve(
+            model, initial=initial
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(23)
+
+    def test_infeasible_initial_ignored(self):
+        model, xs = knapsack()
+        initial = {x: 1.0 for x in xs}  # weight 14 > 7
+        solution = BranchBoundSolver(time_limit_s=30).solve(
+            model, initial=initial
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(23)
+
+    def test_initial_survives_zero_budget_search(self):
+        # With a microscopic budget the warm start may be all we get.
+        model, xs = knapsack()
+        initial = {xs[1]: 1.0, xs[2]: 1.0}  # value 20, weight 6
+        solver = BranchBoundSolver(time_limit_s=30, node_limit=0)
+        solution = solver.solve(model, initial=initial)
+        assert solution.status.has_solution
+        assert solution.objective >= 20 - 1e-9
+
+    def test_fractional_initial_rounded(self):
+        model, xs = knapsack()
+        initial = {xs[0]: 0.9}  # rounds to 1
+        solution = BranchBoundSolver(time_limit_s=30).solve(
+            model, initial=initial
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+
+
+class TestEncodePlan:
+    def test_encoding_matches_plan_overhead(self, six_programs, small_line):
+        from repro.core.analyzer import ProgramAnalyzer
+        from repro.core.formulation import HermesMilp
+        from repro.core.heuristic import GreedyHeuristic
+        from repro.network.paths import PathEnumerator
+
+        tdg = ProgramAnalyzer().analyze(six_programs)
+        paths = PathEnumerator(small_line)
+        greedy = GreedyHeuristic().deploy(tdg, small_line, paths)
+        formulation = HermesMilp(max_candidates=3)
+        handles = formulation.build(tdg, small_line, paths)
+        encoded = formulation.encode_plan(handles, greedy)
+        if encoded is None:
+            pytest.skip("heuristic used non-candidate switches")
+        assert encoded[handles.a_max] == float(
+            greedy.max_metadata_bytes()
+        )
+        # The encoding must satisfy the model.
+        assert handles.model.is_feasible(
+            {
+                var: encoded.get(var, 0.0)
+                for var in handles.model.variables
+            }
+        )
+
+    def test_warm_started_optimal_never_worse(self, six_programs, small_line):
+        from repro.core.analyzer import ProgramAnalyzer
+        from repro.core.formulation import HermesMilp
+        from repro.core.heuristic import GreedyHeuristic
+
+        tdg = ProgramAnalyzer().analyze(six_programs)
+        greedy = GreedyHeuristic().deploy(tdg, small_line)
+        plan = HermesMilp(time_limit_s=30, max_candidates=3).deploy(
+            tdg, small_line, warm_start_plan=greedy
+        )
+        assert plan.max_metadata_bytes() <= greedy.max_metadata_bytes()

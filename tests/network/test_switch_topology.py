@@ -1,0 +1,115 @@
+"""Unit tests for switches and topologies."""
+
+import pytest
+
+from repro.network.switch import Switch
+from repro.network.topology import Link, Network
+
+
+class TestSwitch:
+    def test_defaults_are_tofino_like(self):
+        s = Switch("s")
+        assert s.programmable
+        assert s.num_stages == 12
+        assert s.total_capacity == pytest.approx(12.0)
+
+    def test_non_programmable_has_no_capacity(self):
+        assert Switch("s", programmable=False).total_capacity == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Switch("")
+        with pytest.raises(ValueError):
+            Switch("s", num_stages=0)
+        with pytest.raises(ValueError):
+            Switch("s", stage_capacity=0)
+        with pytest.raises(ValueError):
+            Switch("s", latency_us=-1)
+
+
+class TestLink:
+    def test_canonical_endpoint_order(self):
+        link = Link("b", "a")
+        assert link.key == ("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(KeyError):
+            link.other("c")
+
+    def test_latency_conversion(self):
+        assert Link("a", "b", latency_ms=2.5).latency_us == 2500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link("a", "a")
+        with pytest.raises(ValueError):
+            Link("a", "b", latency_ms=-1)
+        with pytest.raises(ValueError):
+            Link("a", "b", bandwidth_gbps=0)
+
+
+class TestNetwork:
+    def build(self):
+        net = Network("n")
+        net.add_switch(Switch("a"))
+        net.add_switch(Switch("b", programmable=False))
+        net.add_switch(Switch("c"))
+        net.connect("a", "b", latency_ms=1.0)
+        net.connect("b", "c", latency_ms=2.0)
+        return net
+
+    def test_counts(self):
+        net = self.build()
+        assert net.num_switches == 3
+        assert net.num_links == 2
+
+    def test_rejects_duplicates(self):
+        net = self.build()
+        with pytest.raises(ValueError, match="duplicate switch"):
+            net.add_switch(Switch("a"))
+        with pytest.raises(ValueError, match="duplicate link"):
+            net.connect("b", "a")
+
+    def test_link_requires_known_switches(self):
+        net = self.build()
+        with pytest.raises(KeyError):
+            net.connect("a", "ghost")
+
+    def test_lookup(self):
+        net = self.build()
+        assert net.switch("a").name == "a"
+        with pytest.raises(KeyError):
+            net.switch("ghost")
+        assert net.link("b", "a").key == ("a", "b")
+        assert net.has_link("a", "b")
+        assert not net.has_link("a", "c")
+
+    def test_neighbors_and_degree(self):
+        net = self.build()
+        assert net.neighbors("b") == {"a", "c"}
+        assert net.degree("b") == 2
+        with pytest.raises(KeyError):
+            net.neighbors("ghost")
+
+    def test_programmable_filter(self):
+        net = self.build()
+        assert net.programmable_names() == ["a", "c"]
+
+    def test_connectivity(self):
+        net = self.build()
+        assert net.is_connected()
+        net.add_switch(Switch("island"))
+        assert not net.is_connected()
+
+    def test_empty_network_is_connected(self):
+        assert Network().is_connected()
+
+    def test_total_programmable_capacity(self):
+        net = self.build()
+        assert net.total_programmable_capacity() == pytest.approx(24.0)
+
+    def test_contains_and_iter(self):
+        net = self.build()
+        assert "a" in net
+        assert "ghost" not in net
+        assert len(list(net)) == 3

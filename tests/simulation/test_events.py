@@ -1,0 +1,84 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.events import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        while q:
+            _t, cb = q.pop()
+            cb()
+        assert order == ["a", "b"]
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("first"))
+        q.push(1.0, lambda: order.append("second"))
+        q.pop()[1]()
+        q.pop()[1]()
+        assert order == ["first", "second"]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_len(self):
+        q = EventQueue()
+        assert len(q) == 0
+        q.push(0.0, lambda: None)
+        assert len(q) == 1
+
+
+class TestSimulator:
+    def test_runs_to_completion(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        end = sim.run()
+        assert fired == [1.0, 5.0]
+        assert end == 5.0
+        assert sim.events_processed == 2
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_horizon_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        # Remaining event still runs afterwards.
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_rejects_past_schedule_at(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)

@@ -1,0 +1,93 @@
+"""Unit tests for flows, packetization and packets."""
+
+import pytest
+
+from repro.simulation.flow import DEFAULT_MTU, Flow, packet_list
+from repro.simulation.packet import BASE_HEADER_BYTES, Packet
+
+
+class TestPacket:
+    def test_wire_bytes(self):
+        p = Packet(1, 0, payload_bytes=1000, overhead_bytes=48)
+        assert p.wire_bytes == 1000 + 48 + BASE_HEADER_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(1, 0, payload_bytes=-1)
+        with pytest.raises(ValueError):
+            Packet(1, 0, payload_bytes=1, overhead_bytes=-1)
+
+
+class TestFlow:
+    def test_packet_count_without_overhead(self):
+        flow = Flow(1, message_bytes=10_240, packet_payload_bytes=1024)
+        assert flow.num_packets == 10
+
+    def test_overhead_within_mtu_keeps_payload(self):
+        flow = Flow(
+            1, message_bytes=10_240, packet_payload_bytes=1024,
+            overhead_bytes=100,
+        )
+        # 1024 + 100 + 54 < 1500: payload unchanged, wire grows.
+        assert flow.effective_payload_bytes == 1024
+        assert flow.num_packets == 10
+
+    def test_overhead_at_mtu_shrinks_payload(self):
+        payload = DEFAULT_MTU - BASE_HEADER_BYTES  # fills the MTU
+        flow = Flow(
+            1,
+            message_bytes=payload * 10,
+            packet_payload_bytes=payload,
+            overhead_bytes=100,
+        )
+        assert flow.effective_payload_bytes == payload - 100
+        assert flow.num_packets > 10
+
+    def test_rejects_overhead_that_fills_mtu(self):
+        with pytest.raises(ValueError, match="no payload room"):
+            Flow(
+                1,
+                message_bytes=1000,
+                packet_payload_bytes=100,
+                overhead_bytes=DEFAULT_MTU,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(1, message_bytes=0, packet_payload_bytes=100)
+        with pytest.raises(ValueError):
+            Flow(1, message_bytes=100, packet_payload_bytes=0)
+
+    def test_total_wire_bytes(self):
+        flow = Flow(
+            1, message_bytes=2500, packet_payload_bytes=1000,
+            overhead_bytes=20,
+        )
+        # 3 packets: 1000, 1000, 500 payload + 74B framing each.
+        assert flow.total_wire_bytes == 2500 + 3 * 74
+
+
+class TestPacketize:
+    def test_packets_cover_message_exactly(self):
+        flow = Flow(1, message_bytes=2500, packet_payload_bytes=1000)
+        packets = packet_list(flow)
+        assert len(packets) == 3
+        assert sum(p.payload_bytes for p in packets) == 2500
+        assert packets[-1].payload_bytes == 500
+
+    def test_sequence_numbers_increase(self):
+        flow = Flow(1, message_bytes=5000, packet_payload_bytes=1000)
+        packets = packet_list(flow)
+        assert [p.seq for p in packets] == list(range(5))
+
+    def test_every_packet_carries_overhead(self):
+        flow = Flow(
+            1, message_bytes=2500, packet_payload_bytes=1000,
+            overhead_bytes=32,
+        )
+        assert all(p.overhead_bytes == 32 for p in packet_list(flow))
+
+    def test_count_matches_num_packets(self):
+        for message in (1, 999, 1000, 1001, 12345):
+            flow = Flow(1, message_bytes=message, packet_payload_bytes=1000)
+            assert len(packet_list(flow)) == flow.num_packets

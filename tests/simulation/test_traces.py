@@ -1,0 +1,106 @@
+"""Tests for synthetic DCN flow traces."""
+
+import pytest
+
+from repro.simulation.netsim import uniform_path
+from repro.simulation.traces import (
+    TraceConfig,
+    evaluate_trace,
+    generate_trace,
+)
+
+
+class TestGenerateTrace:
+    def test_deterministic_per_seed(self):
+        a = generate_trace(seed=1)
+        b = generate_trace(seed=1)
+        assert [(f.arrival_us, f.message_bytes) for f in a] == [
+            (f.arrival_us, f.message_bytes) for f in b
+        ]
+
+    def test_seeds_differ(self):
+        a = generate_trace(seed=1)
+        b = generate_trace(seed=2)
+        assert [f.message_bytes for f in a] != [f.message_bytes for f in b]
+
+    def test_arrivals_monotone(self):
+        trace = generate_trace(seed=3)
+        arrivals = [f.arrival_us for f in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_sizes_within_bounds(self):
+        config = TraceConfig(max_bytes=10_000_000)
+        trace = generate_trace(seed=4, config=config)
+        assert all(64 <= f.message_bytes <= 10_000_000 for f in trace)
+
+    def test_heavy_tail_present(self):
+        trace = generate_trace(seed=5, config=TraceConfig(num_flows=2000))
+        sizes = sorted(f.message_bytes for f in trace)
+        median = sizes[len(sizes) // 2]
+        p999 = sizes[int(0.999 * len(sizes))]
+        assert p999 > 50 * median  # elephants dwarf the median mouse
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(num_flows=0)
+        with pytest.raises(ValueError):
+            TraceConfig(tail_probability=2.0)
+        with pytest.raises(ValueError):
+            TraceConfig(tail_alpha=1.0)
+        with pytest.raises(ValueError):
+            TraceConfig(flows_per_second=0)
+
+
+class TestEvaluateTrace:
+    def test_overhead_raises_mean_fct(self):
+        trace = generate_trace(seed=6, config=TraceConfig(num_flows=300))
+        path = uniform_path(5)
+        clean = evaluate_trace(trace, path, overhead_bytes=0)
+        loaded = evaluate_trace(trace, path, overhead_bytes=108)
+        assert loaded.mean_fct_us > clean.mean_fct_us
+        assert loaded.total_wire_bytes > clean.total_wire_bytes
+        assert clean.mean_slowdown == pytest.approx(1.0)
+        assert loaded.mean_slowdown > 1.0
+
+    def test_p99_at_least_mean(self):
+        trace = generate_trace(seed=7, config=TraceConfig(num_flows=300))
+        metrics = evaluate_trace(trace, uniform_path(5), 48)
+        assert metrics.p99_fct_us >= metrics.mean_fct_us
+
+    def test_slowdown_monotone_in_overhead(self):
+        trace = generate_trace(seed=8, config=TraceConfig(num_flows=200))
+        path = uniform_path(5)
+        slowdowns = [
+            evaluate_trace(trace, path, ov).mean_slowdown
+            for ov in (0, 28, 68, 108)
+        ]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_serialization_bound_flows_pay_the_full_tax(self):
+        mice = generate_trace(
+            seed=9,
+            config=TraceConfig(
+                num_flows=200, median_bytes=1024, tail_probability=0.0
+            ),
+        )
+        elephants = generate_trace(
+            seed=9,
+            config=TraceConfig(
+                num_flows=200,
+                median_bytes=10 * 1024 * 1024,
+                sigma=0.2,
+                tail_probability=0.0,
+            ),
+        )
+        path = uniform_path(5)
+        mice_slow = evaluate_trace(mice, path, 108).mean_slowdown
+        elephant_slow = evaluate_trace(elephants, path, 108).mean_slowdown
+        # Elephants are serialization-bound: their slowdown approaches
+        # the full wire inflation (108 extra bytes on ~1078-byte
+        # packets, ~10%).  Mice are propagation-bound and dilute it.
+        assert elephant_slow > mice_slow
+        assert elephant_slow == pytest.approx(1.10, abs=0.02)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_trace([], uniform_path(3), 0)

@@ -1,0 +1,66 @@
+"""Unit tests for program -> TDG conversion."""
+
+from repro.dataplane.actions import modify, no_op
+from repro.dataplane.fields import header_field, metadata_field
+from repro.dataplane.mat import Mat
+from repro.dataplane.program import Program
+from repro.tdg.builder import build_tdg, qualified_name
+from repro.tdg.dependencies import DependencyType
+
+
+IDX = metadata_field("m.idx", 32)
+HDR = header_field("ipv4.src", 32)
+
+
+class TestBuildTdg:
+    def test_qualifies_node_names(self):
+        program = Program("p", [Mat("a", actions=[no_op()])])
+        tdg = build_tdg(program)
+        assert tdg.node_names == ["p.a"]
+        assert qualified_name("p", "a") == "p.a"
+
+    def test_match_dependency_edge(self, sketch_program):
+        tdg = build_tdg(sketch_program)
+        edge = tdg.edge("sk.hash", "sk.update")
+        assert edge.dep_type is DependencyType.MATCH
+
+    def test_all_pairs_enumerated(self, sketch_program):
+        # hash -> update (M), update -> report (M), hash -> report?
+        tdg = build_tdg(sketch_program)
+        assert tdg.has_edge("sk.hash", "sk.update")
+        assert tdg.has_edge("sk.update", "sk.report")
+
+    def test_reverse_dependency_edge(self):
+        # a matches IDX; b (later) writes IDX
+        a = Mat("a", match_fields=[IDX], actions=[no_op()])
+        b = Mat("b", actions=[modify(IDX)])
+        tdg = build_tdg(Program("p", [a, b]))
+        assert tdg.edge("p.a", "p.b").dep_type is DependencyType.REVERSE
+
+    def test_successor_dependency_from_conditional(self):
+        gate = Mat("gate", actions=[modify(IDX)])
+        gated = Mat("gated", match_fields=[HDR], actions=[no_op()])
+        tdg = build_tdg(Program("p", [gate, gated], [("gate", "gated")]))
+        assert (
+            tdg.edge("p.gate", "p.gated").dep_type
+            is DependencyType.SUCCESSOR
+        )
+
+    def test_independent_mats_have_no_edge(self):
+        a = Mat("a", match_fields=[HDR], actions=[no_op()])
+        b = Mat("b", match_fields=[HDR], actions=[no_op()])
+        tdg = build_tdg(Program("p", [a, b]))
+        assert not tdg.edges
+
+    def test_node_properties_preserved(self, sketch_program):
+        tdg = build_tdg(sketch_program)
+        original = sketch_program.mat("hash")
+        renamed = tdg.node("sk.hash")
+        assert renamed.resource_demand == original.resource_demand
+        assert renamed.capacity == original.capacity
+        assert renamed.match_fields == original.match_fields
+
+    def test_graph_is_acyclic(self, six_programs):
+        for program in six_programs:
+            tdg = build_tdg(program)
+            tdg.topological_order()  # raises on cycles

@@ -1,0 +1,101 @@
+"""Unit tests for dependency classification (M/A/R/S)."""
+
+from repro.dataplane.actions import Action, ActionPrimitive, modify, no_op
+from repro.dataplane.fields import header_field, metadata_field
+from repro.dataplane.mat import Mat
+from repro.tdg.dependencies import DependencyType, classify_dependency
+
+
+IDX = metadata_field("m.idx", 32)
+VAL = metadata_field("m.val", 32)
+HDR = header_field("ipv4.src", 32)
+
+
+def writer(field, name="w"):
+    return Mat(name, actions=[modify(field)])
+
+
+def matcher(field, name="r"):
+    return Mat(name, match_fields=[field], actions=[no_op()])
+
+
+class TestClassification:
+    def test_match_dependency(self):
+        assert (
+            classify_dependency(writer(IDX), matcher(IDX))
+            is DependencyType.MATCH
+        )
+
+    def test_match_dependency_via_action_read(self):
+        consumer = Mat(
+            "c",
+            actions=[
+                Action(
+                    "use",
+                    ActionPrimitive.MODIFY_FIELD,
+                    reads=(IDX,),
+                    writes=(VAL,),
+                )
+            ],
+        )
+        assert (
+            classify_dependency(writer(IDX), consumer)
+            is DependencyType.MATCH
+        )
+
+    def test_action_dependency(self):
+        assert (
+            classify_dependency(writer(IDX, "a"), writer(IDX, "b"))
+            is DependencyType.ACTION
+        )
+
+    def test_reverse_dependency(self):
+        assert (
+            classify_dependency(matcher(IDX), writer(IDX))
+            is DependencyType.REVERSE
+        )
+
+    def test_successor_dependency(self):
+        gate = writer(VAL, "gate")
+        gated = matcher(HDR, "gated")
+        assert (
+            classify_dependency(gate, gated, conditional=True)
+            is DependencyType.SUCCESSOR
+        )
+
+    def test_independent_mats(self):
+        assert classify_dependency(writer(IDX), matcher(HDR)) is None
+
+    def test_match_beats_action(self):
+        # downstream both matches and writes the field upstream wrote
+        both = Mat("b", match_fields=[IDX], actions=[modify(IDX)])
+        assert (
+            classify_dependency(writer(IDX), both) is DependencyType.MATCH
+        )
+
+    def test_action_beats_successor(self):
+        assert (
+            classify_dependency(
+                writer(IDX, "a"), writer(IDX, "b"), conditional=True
+            )
+            is DependencyType.ACTION
+        )
+
+    def test_successor_beats_reverse(self):
+        assert (
+            classify_dependency(matcher(IDX), writer(IDX), conditional=True)
+            is DependencyType.SUCCESSOR
+        )
+
+
+class TestMetadataCarrying:
+    def test_reverse_carries_nothing(self):
+        assert not DependencyType.REVERSE.carries_metadata
+
+    def test_others_carry(self):
+        for dep in (
+            DependencyType.MATCH,
+            DependencyType.ACTION,
+            DependencyType.SUCCESSOR,
+        ):
+            assert dep.carries_metadata

@@ -1,0 +1,210 @@
+"""Unit tests for the bundled workloads."""
+
+import pytest
+
+from repro.core.analyzer import ProgramAnalyzer
+from repro.tdg.builder import build_tdg
+from repro.workloads.metadata_catalog import (
+    METADATA_SIZES,
+    counter_index,
+    queue_lengths,
+    switch_identifier,
+    timestamps,
+)
+from repro.workloads.sketches import sketch_programs
+from repro.workloads.switchp4 import program_catalog, real_programs
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    synthetic_program,
+    synthetic_programs,
+)
+
+
+class TestMetadataCatalog:
+    def test_table_i_sizes(self):
+        assert switch_identifier("x").size_bytes == 4
+        assert queue_lengths("x").size_bytes == 6
+        assert timestamps("x").size_bytes == 12
+        assert counter_index("x").size_bytes == 4
+        assert METADATA_SIZES == {
+            "switch_id": 4,
+            "queue_lengths": 6,
+            "timestamps": 12,
+            "counter_index": 4,
+        }
+
+    def test_fields_are_metadata(self):
+        for ctor in (switch_identifier, queue_lengths, timestamps,
+                     counter_index):
+            assert ctor("ns").is_metadata
+
+    def test_namespacing(self):
+        assert counter_index("a").name != counter_index("b").name
+
+
+class TestRealPrograms:
+    def test_ten_available(self):
+        programs = real_programs(10)
+        assert len(programs) == 10
+        assert len({p.name for p in programs}) == 10
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            real_programs(0)
+        with pytest.raises(ValueError):
+            real_programs(99)
+
+    def test_all_build_valid_tdgs(self):
+        for program in real_programs(10):
+            tdg = build_tdg(program)
+            tdg.topological_order()
+            assert len(tdg) == len(program)
+
+    def test_each_has_internal_dependencies(self):
+        for program in real_programs(10):
+            tdg = build_tdg(program)
+            assert tdg.edges, f"{program.name} should have dependencies"
+
+    def test_metadata_flows_are_costed(self):
+        from repro.tdg.analysis import annotate_metadata_sizes
+
+        for program in real_programs(10):
+            tdg = annotate_metadata_sizes(build_tdg(program))
+            assert any(e.metadata_bytes > 0 for e in tdg.edges), program.name
+
+    def test_ten_programs_overflow_one_switch(self):
+        total = sum(p.total_resource_demand for p in real_programs(10))
+        assert total > 12.0  # a single Tofino-like pipeline
+
+    def test_catalog_keys(self):
+        catalog = program_catalog()
+        assert "l3_routing" in catalog
+        assert "int_telemetry" in catalog
+
+    def test_int_program_carries_heavy_metadata(self):
+        from repro.tdg.analysis import annotate_metadata_sizes
+
+        catalog = program_catalog()
+        tdg = annotate_metadata_sizes(build_tdg(catalog["int_telemetry"]))
+        assert max(e.metadata_bytes for e in tdg.edges) >= 12
+
+
+class TestSketches:
+    def test_ten_available(self):
+        assert len(sketch_programs(10)) == 10
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            sketch_programs(0)
+
+    def test_sharing_enables_dedup(self):
+        programs = sketch_programs(10)
+        merged = ProgramAnalyzer(merge=True).analyze(programs)
+        total_mats = sum(len(p) for p in programs)
+        assert len(merged) < total_mats
+
+    def test_non_sharing_sketches_keep_own_hash(self):
+        programs = {p.name: p for p in sketch_programs(10)}
+        own = programs["hyperloglog"].mat("flow_hash")
+        shared = programs["count_min"].mat("flow_hash")
+        assert not own.is_redundant_with(shared)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = synthetic_program("s", seed=42)
+        b = synthetic_program("s", seed=42)
+        assert len(a) == len(b)
+        assert [m.name for m in a] == [m.name for m in b]
+        assert [m.resource_demand for m in a] == [
+            m.resource_demand for m in b
+        ]
+
+    def test_seeds_differ(self):
+        a = synthetic_program("s", seed=1)
+        b = synthetic_program("s", seed=2)
+        assert [m.resource_demand for m in a] != [
+            m.resource_demand for m in b
+        ]
+
+    def test_paper_distribution(self):
+        config = SyntheticConfig()
+        sizes = []
+        demands = []
+        for i in range(30):
+            program = synthetic_program(f"s{i}", seed=i, config=config)
+            own_mats = [m for m in program if not m.name.startswith("shared")]
+            sizes.append(len(own_mats))
+            demands.extend(m.resource_demand for m in own_mats)
+        assert all(10 <= n <= 20 for n in sizes)
+        assert all(0.10 <= d <= 0.50 for d in demands)
+
+    def test_dependency_probability_extremes(self):
+        dense = SyntheticConfig(
+            dependency_probability=1.0, shared_pool_size=0
+        )
+        sparse = SyntheticConfig(
+            dependency_probability=0.0, shared_pool_size=0
+        )
+        dense_tdg = build_tdg(synthetic_program("d", 1, dense))
+        sparse_tdg = build_tdg(synthetic_program("s", 1, sparse))
+        n = len(dense_tdg)
+        assert len(dense_tdg.edges) == n * (n - 1) // 2
+        assert not sparse_tdg.edges
+
+    def test_shared_pool_creates_cross_program_redundancy(self):
+        programs = synthetic_programs(6, seed=3)
+        merged = ProgramAnalyzer(merge=True).analyze(programs)
+        unmerged = ProgramAnalyzer(merge=False).analyze(programs)
+        assert len(merged) < len(unmerged)
+
+    def test_tdgs_are_valid(self):
+        for program in synthetic_programs(10, seed=5):
+            tdg = build_tdg(program)
+            tdg.topological_order()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(min_mats=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(dependency_probability=1.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(min_demand=0.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(shared_probability=-0.1)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_programs(-1)
+        assert synthetic_programs(0) == []
+
+
+class TestExtendedRealPrograms:
+    def test_sixteen_available(self):
+        programs = real_programs(16)
+        assert len({p.name for p in programs}) == 16
+
+    def test_new_slices_have_costed_metadata(self):
+        from repro.tdg.analysis import annotate_metadata_sizes
+
+        catalog = program_catalog()
+        for name in (
+            "ipv6_routing",
+            "mpls_lsr",
+            "sflow_sampling",
+            "ddos_mitigation",
+            "rate_limiter",
+        ):
+            tdg = annotate_metadata_sizes(build_tdg(catalog[name]))
+            assert tdg.edges, name
+            assert any(e.metadata_bytes > 0 for e in tdg.edges), name
+
+    def test_new_slices_deploy_and_verify(self):
+        from repro.core import Hermes, verify_dataflow
+        from repro.network.generators import linear_topology
+
+        programs = real_programs(16)
+        network = linear_topology(6)
+        result = Hermes().deploy(programs, network)
+        result.plan.validate()
+        verify_dataflow(result.plan)
