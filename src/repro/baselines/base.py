@@ -29,6 +29,7 @@ from repro.dataplane.program import Program
 from repro.network.paths import Path, PathEnumerator
 from repro.network.topology import Network
 from repro.tdg.graph import Tdg
+from repro.telemetry import emit
 
 
 @dataclass
@@ -71,19 +72,39 @@ class DeploymentFramework(abc.ABC):
         network: Network,
         paths: Optional[PathEnumerator] = None,
     ) -> FrameworkResult:
-        """Analyze programs and place them; timing covers placement."""
+        """Analyze programs and place them; timing covers placement.
+
+        Emits ``deploy.start`` / ``deploy.done`` telemetry events (see
+        :mod:`repro.telemetry`) bracketing the placement, so journals
+        can attribute the solver event stream to a framework.
+        """
         paths = paths or PathEnumerator(network)
+        emit(
+            "deploy.start",
+            framework=self.name,
+            programs=len(programs),
+            network=network.name,
+        )
         tdg = ProgramAnalyzer(merge=self.merges).analyze(programs)
         start = time.perf_counter()
         plan, timed_out = self._place(tdg, programs, network, paths)
         elapsed = time.perf_counter() - start
-        return FrameworkResult(
+        result = FrameworkResult(
             framework=self.name,
             plan=plan,
             tdg=tdg,
             solve_time_s=elapsed,
             timed_out=timed_out,
         )
+        emit(
+            "deploy.done",
+            framework=self.name,
+            solve_time_s=elapsed,
+            timed_out=timed_out,
+            overhead_bytes=result.overhead_bytes,
+            occupied_switches=plan.num_occupied_switches(),
+        )
+        return result
 
     @abc.abstractmethod
     def _place(

@@ -5,6 +5,8 @@ Run any paper experiment or an ad-hoc deployment without writing code:
     python -m repro fig2
     python -m repro exp1
     python -m repro exp2 --topologies 1 5 10 --programs 20
+    python -m repro exp2 --workers 4 --cache-dir .repro-cache \
+        --journal exp2.jsonl
     python -m repro exp5 --programs 10 30 50
     python -m repro exp6
     python -m repro deploy --workload real:10 --topology zoo:3 \
@@ -14,6 +16,12 @@ Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
 specs: ``zoo:ID`` (Table III), ``linear:N``, ``fattree:K``,
 ``wan:NODES:EDGES[:seed]``.
+
+Every experiment command takes ``--workers N`` (process-pool fan-out
+of the framework x problem cells; results identical to serial),
+``--cache-dir PATH`` (content-addressed result cache: repeated sweep
+points and re-runs skip solving) and ``--journal PATH`` (JSONL
+telemetry of runner, deploy and branch & bound solver events).
 """
 
 from __future__ import annotations
@@ -118,16 +126,35 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_runner(args: argparse.Namespace):
+    """Build an ExperimentRunner from ``--workers/--cache-dir/--journal``.
+
+    Returns None when every flag is at its default, keeping the plain
+    in-process serial path for unadorned invocations.
+    """
+    workers = getattr(args, "workers", 1) or 1
+    cache_dir = getattr(args, "cache_dir", None)
+    journal = getattr(args, "journal", None)
+    if workers == 1 and not cache_dir and not journal:
+        return None
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        workers=workers, cache_dir=cache_dir, journal=journal
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     name = args.command
+    runner = _make_runner(args)
     if name == "fig2":
         from repro.experiments import fig2_motivation
 
-        fig2_motivation.main()
+        fig2_motivation.main(runner=runner)
     elif name == "exp1":
         from repro.experiments import exp1_testbed
 
-        exp1_testbed.main()
+        exp1_testbed.main(exp1_testbed.run(runner=runner))
     elif name in ("exp2", "exp3", "exp4"):
         from repro.experiments import exp2_overhead, exp3_exectime, exp4_endtoend
 
@@ -135,6 +162,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             topology_ids=tuple(args.topologies),
             num_programs=args.programs,
             ilp_time_limit_s=args.time_limit,
+            runner=runner,
         )
         {
             "exp2": exp2_overhead.main,
@@ -154,6 +182,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         points = exp5_scalability.run(
             program_counts=tuple(args.programs_sweep),
             ilp_time_limit_s=args.time_limit,
+            runner=runner,
         )
         exp5_scalability.main(points)
         _maybe_export(
@@ -166,7 +195,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif name == "exp6":
         from repro.experiments import exp6_resources
 
-        exp6_resources.main()
+        exp6_resources.main(runner=runner)
     elif name == "report":
         _quick_report()
     else:  # pragma: no cover - argparse prevents this
@@ -233,6 +262,26 @@ def _maybe_export(args: argparse.Namespace, rows: list) -> None:
     print(f"wrote {len(rows)} rows to {path}")
 
 
+def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+    """The parallel-runner flag set shared by every experiment command."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the experiment cells (1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (reruns skip solving)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="append JSONL runner/deploy/solver telemetry to this file",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -241,7 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in ("fig2", "exp1", "exp6", "report"):
-        sub.add_parser(name, help=f"run {name}")
+        p = sub.add_parser(name, help=f"run {name}")
+        if name != "report":
+            _add_runner_flags(p)
 
     for name in ("exp2", "exp3", "exp4"):
         p = sub.add_parser(name, help=f"run {name} (shares exp2 runs)")
@@ -251,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--programs", type=int, default=50)
         p.add_argument("--time-limit", type=float, default=10.0)
         p.add_argument("--json", default=None, help="export rows to a JSON file")
+        _add_runner_flags(p)
 
     p5 = sub.add_parser("exp5", help="run exp5 scalability")
     p5.add_argument(
@@ -261,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p5.add_argument("--time-limit", type=float, default=10.0)
     p5.add_argument("--json", default=None, help="export rows to a JSON file")
+    _add_runner_flags(p5)
 
     d = sub.add_parser("deploy", help="deploy a workload with Hermes")
     d.add_argument("--workload", default="real:10")

@@ -12,7 +12,10 @@
 
 Every module exposes a ``run(...)`` returning structured rows and a
 ``main()`` that prints the paper-style table; all are parameterized so
-the benchmark suite can run them at reduced budgets.
+the benchmark suite can run them at reduced budgets.  Every ``run``
+also accepts a ``runner=`` from :mod:`repro.experiments.runner` to fan
+the sweep out across a process pool with result caching and a JSONL
+telemetry journal.
 """
 
 from repro.experiments.harness import (
@@ -20,6 +23,7 @@ from repro.experiments.harness import (
     default_frameworks,
     end_to_end_impact,
     run_deployment_suite,
+    run_single_deployment,
 )
 from repro.experiments.reporting import Table, format_series
 
@@ -30,4 +34,5 @@ __all__ = [
     "end_to_end_impact",
     "format_series",
     "run_deployment_suite",
+    "run_single_deployment",
 ]

@@ -15,18 +15,20 @@ and program count:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.baselines.base import DeploymentFramework
 from repro.experiments.harness import (
     DeploymentRecord,
     default_frameworks,
-    run_deployment_suite,
 )
 from repro.experiments.reporting import Table
 from repro.network.generators import linear_topology
 from repro.network.topology import Network
 from repro.workloads.switchp4 import real_programs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
 
 #: The paper sweeps 2..10 concurrent programs.
 PROGRAM_COUNTS = (2, 4, 6, 8, 10)
@@ -49,27 +51,36 @@ def run(
     program_counts: Sequence[int] = PROGRAM_COUNTS,
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
     packet_payload_bytes: int = 1024,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[Exp1Point]:
     """Deploy 2-10 real programs on the 3-switch testbed."""
-    points: List[Exp1Point] = []
+    from repro.experiments.runner import Cell, execute_cells
+
+    cells: List[Cell] = []
     for count in program_counts:
-        programs = real_programs(count)
+        programs = tuple(real_programs(count))
         network = testbed_network()
-        records = run_deployment_suite(
-            programs,
-            network,
-            frameworks=(
-                list(frameworks)
-                if frameworks is not None
-                else default_frameworks(
-                    ilp_time_limit_s=20.0, per_program_ilp_time_limit_s=2.0
-                )
-            ),
-            packet_payload_bytes=packet_payload_bytes,
+        sweep_frameworks = (
+            list(frameworks)
+            if frameworks is not None
+            else default_frameworks(
+                ilp_time_limit_s=20.0, per_program_ilp_time_limit_s=2.0
+            )
         )
-        for record in records.values():
-            points.append(Exp1Point(count, record))
-    return points
+        for framework in sweep_frameworks:
+            cells.append(
+                Cell(
+                    programs=programs,
+                    network=network,
+                    framework=framework,
+                    packet_payload_bytes=packet_payload_bytes,
+                    tag=count,
+                )
+            )
+    return [
+        Exp1Point(res.cell.tag, res.record)
+        for res in execute_cells(cells, runner)
+    ]
 
 
 def _pivot(

@@ -12,15 +12,17 @@ so :func:`run` is shared by all three experiment modules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.baselines.base import DeploymentFramework
 from repro.experiments.harness import (
     DeploymentRecord,
     default_frameworks,
-    run_deployment_suite,
 )
 from repro.experiments.reporting import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
 from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
 from repro.workloads.switchp4 import real_programs
 from repro.workloads.synthetic import synthetic_programs
@@ -50,29 +52,44 @@ def run(
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
     seed: int = 7,
     ilp_time_limit_s: float = 10.0,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[Exp2Point]:
-    """Deploy the 50-program workload on each selected topology."""
-    programs = workload(num_programs, seed)
-    points: List[Exp2Point] = []
+    """Deploy the 50-program workload on each selected topology.
+
+    The whole (framework x topology) sweep is one flat cell list, so a
+    parallel ``runner`` overlaps deployments across topologies, not
+    just within one; results are ordered and valued identically to the
+    serial run.
+    """
+    from repro.experiments.runner import Cell, execute_cells
+
+    programs = tuple(workload(num_programs, seed))
+    cells: List[Cell] = []
     for topology_id in topology_ids:
         network = topology_zoo_wan(topology_id)
-        records = run_deployment_suite(
-            programs,
-            network,
-            frameworks=(
-                list(frameworks)
-                if frameworks is not None
-                else default_frameworks(
-                    ilp_time_limit_s=ilp_time_limit_s,
-                    per_program_ilp_time_limit_s=max(
-                        ilp_time_limit_s / 20.0, 0.2
-                    ),
-                )
-            ),
+        sweep_frameworks = (
+            list(frameworks)
+            if frameworks is not None
+            else default_frameworks(
+                ilp_time_limit_s=ilp_time_limit_s,
+                per_program_ilp_time_limit_s=max(
+                    ilp_time_limit_s / 20.0, 0.2
+                ),
+            )
         )
-        for record in records.values():
-            points.append(Exp2Point(topology_id, record))
-    return points
+        for framework in sweep_frameworks:
+            cells.append(
+                Cell(
+                    programs=programs,
+                    network=network,
+                    framework=framework,
+                    tag=topology_id,
+                )
+            )
+    return [
+        Exp2Point(res.cell.tag, res.record)
+        for res in execute_cells(cells, runner)
+    ]
 
 
 def pivot(

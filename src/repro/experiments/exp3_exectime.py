@@ -3,6 +3,11 @@
 Reads the same runs as Exp#2 and reports each framework's placement
 time per topology.  Following the paper's rendering, ILP runs that
 exceeded their budget are reported as the off-scale ``1e7`` ms bar.
+
+The shared :func:`run` accepts Exp#2's ``runner=`` argument; note that
+with a warm result cache the *recorded* ``solve_time_s`` is the one
+measured when the cell was first solved (cached cells are not
+re-timed), so execution-time studies should run cache-off.
 """
 
 from __future__ import annotations

@@ -3,6 +3,11 @@
 Reads the Exp#2 runs and reports the FCT and goodput of 1024-byte
 packets (the paper's setting) carrying each framework's measured
 overhead, normalized against the metadata-free flow.
+
+The shared :func:`run` accepts Exp#2's ``runner=`` argument
+(``--workers`` / ``--cache-dir`` / ``--journal`` on the CLI); the
+FCT/goodput ratios are pure functions of the recorded overhead, so
+cached records reproduce this figure exactly.
 """
 
 from __future__ import annotations

@@ -8,17 +8,19 @@ and the end-to-end impact — the four panels of Fig. 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.baselines.base import DeploymentFramework
 from repro.experiments.exp2_overhead import workload
 from repro.experiments.harness import (
     DeploymentRecord,
     default_frameworks,
-    run_deployment_suite,
 )
 from repro.experiments.reporting import Table
 from repro.network.topozoo import topology_zoo_wan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
 
 PROGRAM_COUNTS = (10, 20, 30, 40, 50)
 TOPOLOGY_ID = 10
@@ -36,28 +38,41 @@ def run(
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
     seed: int = 7,
     ilp_time_limit_s: float = 10.0,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[Exp5Point]:
-    points: List[Exp5Point] = []
+    """Sweep the program count; the whole (framework x count) grid is
+    one flat cell list so a parallel ``runner`` overlaps every solve,
+    and its result cache collapses sweep points shared with earlier
+    runs (e.g. the n=50 cells Exp#2 already solved on topology 10)."""
+    from repro.experiments.runner import Cell, execute_cells
+
+    cells: List[Cell] = []
     for count in program_counts:
-        programs = workload(count, seed)
+        programs = tuple(workload(count, seed))
         network = topology_zoo_wan(topology_id)
-        records = run_deployment_suite(
-            programs,
-            network,
-            frameworks=(
-                list(frameworks)
-                if frameworks is not None
-                else default_frameworks(
-                    ilp_time_limit_s=ilp_time_limit_s,
-                    per_program_ilp_time_limit_s=max(
-                        ilp_time_limit_s / 20.0, 0.2
-                    ),
-                )
-            ),
+        sweep_frameworks = (
+            list(frameworks)
+            if frameworks is not None
+            else default_frameworks(
+                ilp_time_limit_s=ilp_time_limit_s,
+                per_program_ilp_time_limit_s=max(
+                    ilp_time_limit_s / 20.0, 0.2
+                ),
+            )
         )
-        for record in records.values():
-            points.append(Exp5Point(count, record))
-    return points
+        for framework in sweep_frameworks:
+            cells.append(
+                Cell(
+                    programs=programs,
+                    network=network,
+                    framework=framework,
+                    tag=count,
+                )
+            )
+    return [
+        Exp5Point(res.cell.tag, res.record)
+        for res in execute_cells(cells, runner)
+    ]
 
 
 def _pivot(points: List[Exp5Point], attr: str, title: str) -> Table:

@@ -14,13 +14,17 @@ deduplicating shared hash MATs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.baselines import HermesHeuristic, Speed
 from repro.baselines.base import DeploymentFramework
 from repro.experiments.reporting import Table
 from repro.network.generators import linear_topology
+from repro.network.topology import Network
 from repro.workloads.sketches import sketch_programs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
 
 
 @dataclass
@@ -40,11 +44,27 @@ def ground_truth_units(num_sketches: int = 10) -> float:
     )
 
 
+def _framework_row(
+    job: Tuple[DeploymentFramework, Tuple, Network, float]
+) -> Exp6Row:
+    """One framework's resource accounting (module-level: pool-safe)."""
+    framework, programs, network, truth = job
+    result = framework.deploy(list(programs), network)
+    total = sum(mat.resource_demand for mat in result.tdg.mats)
+    return Exp6Row(
+        strategy=framework.name,
+        total_stage_units=total,
+        num_mats=len(result.tdg),
+        extra_vs_ground_truth=total - truth,
+    )
+
+
 def run(
     num_sketches: int = 10,
     frameworks: Optional[List[DeploymentFramework]] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[Exp6Row]:
-    programs = sketch_programs(num_sketches)
+    programs = tuple(sketch_programs(num_sketches))
     network = linear_topology(3, link_latency_ms=0.001)
     truth = ground_truth_units(num_sketches)
 
@@ -57,24 +77,19 @@ def run(
         )
     ]
     frameworks = frameworks or [Speed(time_limit_s=20.0), HermesHeuristic()]
-    for framework in frameworks:
-        result = framework.deploy(programs, network)
-        total = sum(
-            mat.resource_demand for mat in result.tdg.mats
-        )
-        rows.append(
-            Exp6Row(
-                strategy=framework.name,
-                total_stage_units=total,
-                num_mats=len(result.tdg),
-                extra_vs_ground_truth=total - truth,
-            )
-        )
+    jobs = [(framework, programs, network, truth) for framework in frameworks]
+    if runner is not None:
+        rows.extend(runner.map(_framework_row, jobs))
+    else:
+        rows.extend(_framework_row(job) for job in jobs)
     return rows
 
 
-def main(rows: Optional[List[Exp6Row]] = None) -> str:
-    rows = rows if rows is not None else run()
+def main(
+    rows: Optional[List[Exp6Row]] = None,
+    runner: Optional["ExperimentRunner"] = None,
+) -> str:
+    rows = rows if rows is not None else run(runner=runner)
     table = Table(
         "Exp#6: switch resource consumption (normalized stage units)",
         ["strategy", "stage units", "MATs", "extra vs ground truth"],

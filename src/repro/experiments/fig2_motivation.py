@@ -10,9 +10,12 @@ metadata-free run.  Packet sizes follow the paper: 512 B (DCN traffic),
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.experiments.harness import E2E_HOPS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
 from repro.experiments.reporting import Table
 from repro.simulation.flow import Flow
 from repro.simulation.metrics import normalized_against
@@ -34,46 +37,64 @@ class Fig2Row:
     goodput_ratio: float
 
 
+def _size_rows(
+    job: Tuple[int, Tuple[int, ...], int, int, bool]
+) -> List[Fig2Row]:
+    """The sweep for one packet size (module-level: pool-safe)."""
+    packet_size, overheads, message_bytes, hops, use_des = job
+    path = uniform_path(hops)
+    simulator = FlowSimulator(path)
+    payload = max(packet_size - BASE_HEADER_BYTES, 1)
+    baseline_flow = Flow(0, message_bytes, payload, overhead_bytes=0)
+    baseline = (
+        simulator.run(baseline_flow)
+        if use_des
+        else analytic_fct(baseline_flow, path)
+    )
+    rows: List[Fig2Row] = []
+    for overhead in overheads:
+        flow = Flow(1, message_bytes, payload, overhead_bytes=overhead)
+        metrics = (
+            simulator.run(flow) if use_des else analytic_fct(flow, path)
+        )
+        norm = normalized_against(metrics, baseline)
+        rows.append(
+            Fig2Row(
+                packet_size=packet_size,
+                overhead_bytes=overhead,
+                fct_ratio=norm.fct_ratio,
+                goodput_ratio=norm.goodput_ratio,
+            )
+        )
+    return rows
+
+
 def run(
     overheads: Sequence[int] = OVERHEAD_SWEEP,
     packet_sizes: Sequence[int] = PACKET_SIZES,
     message_bytes: int = 1_000_000,
     hops: int = E2E_HOPS,
     use_des: bool = False,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> List[Fig2Row]:
     """Run the sweep; ``use_des`` switches from the closed form to the
-    packet-level discrete-event simulator (slower, identical shape)."""
-    path = uniform_path(hops)
-    simulator = FlowSimulator(path)
-    rows: List[Fig2Row] = []
-    for packet_size in packet_sizes:
-        payload = max(packet_size - BASE_HEADER_BYTES, 1)
-        baseline_flow = Flow(0, message_bytes, payload, overhead_bytes=0)
-        baseline = (
-            simulator.run(baseline_flow)
-            if use_des
-            else analytic_fct(baseline_flow, path)
-        )
-        for overhead in overheads:
-            flow = Flow(1, message_bytes, payload, overhead_bytes=overhead)
-            metrics = (
-                simulator.run(flow) if use_des else analytic_fct(flow, path)
-            )
-            norm = normalized_against(metrics, baseline)
-            rows.append(
-                Fig2Row(
-                    packet_size=packet_size,
-                    overhead_bytes=overhead,
-                    fct_ratio=norm.fct_ratio,
-                    goodput_ratio=norm.goodput_ratio,
-                )
-            )
-    return rows
+    packet-level discrete-event simulator (slower, identical shape).
+    A parallel ``runner`` fans the per-packet-size series out across
+    workers (worthwhile in DES mode)."""
+    jobs = [
+        (packet_size, tuple(overheads), message_bytes, hops, use_des)
+        for packet_size in packet_sizes
+    ]
+    if runner is not None:
+        per_size = runner.map(_size_rows, jobs)
+    else:
+        per_size = [_size_rows(job) for job in jobs]
+    return [row for rows in per_size for row in rows]
 
 
-def main() -> str:
+def main(runner: Optional["ExperimentRunner"] = None) -> str:
     """Print the Fig. 2 series as two tables (FCT and goodput)."""
-    rows = run()
+    rows = run(runner=runner)
     fct = Table(
         "Fig. 2(a): normalized FCT vs per-packet overhead",
         ["overhead(B)"] + [f"{s}B pkts" for s in PACKET_SIZES],

@@ -11,7 +11,7 @@ module only describes its sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import (
     Ffl,
@@ -32,6 +32,9 @@ from repro.network.topology import Network
 from repro.simulation.flow import Flow
 from repro.simulation.metrics import normalized_against
 from repro.simulation.netsim import analytic_fct, uniform_path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner.executor import ExperimentRunner
 
 #: Message size used by the end-to-end impact model: 1 MB transfers,
 #: large enough that pacing (not propagation) dominates.
@@ -62,6 +65,22 @@ class DeploymentRecord:
         """Execution time as the paper plots it: timed-out ILP runs are
         rendered as the off-scale 10^7 ms bar."""
         return 1e7 if self.timed_out else self.solve_time_ms
+
+    def deterministic_fields(self) -> Dict[str, object]:
+        """The fields a re-run must reproduce bit-identically.
+
+        ``solve_time_s`` is wall-clock and varies between runs, so the
+        parity guarantees (serial vs. parallel vs. cache-warm) are
+        stated over everything else.
+        """
+        return {
+            "framework": self.framework,
+            "overhead_bytes": self.overhead_bytes,
+            "timed_out": self.timed_out,
+            "occupied_switches": self.occupied_switches,
+            "fct_ratio": self.fct_ratio,
+            "goodput_ratio": self.goodput_ratio,
+        }
 
 
 def default_frameworks(
@@ -129,37 +148,83 @@ def end_to_end_impact(
     return norm.fct_ratio, norm.goodput_ratio
 
 
+def run_single_deployment(
+    programs: Sequence[Program],
+    network: Network,
+    framework: DeploymentFramework,
+    packet_payload_bytes: int = 1024,
+    with_end_to_end: bool = True,
+    paths: Optional[PathEnumerator] = None,
+) -> DeploymentRecord:
+    """Run one framework on one deployment problem.
+
+    This is the unit of work the parallel runner fans out: everything a
+    :class:`DeploymentRecord` needs, independent of every other
+    (framework x problem) cell.
+    """
+    result: FrameworkResult = framework.deploy(programs, network, paths)
+    fct_ratio, goodput_ratio = 1.0, 1.0
+    if with_end_to_end:
+        fct_ratio, goodput_ratio = end_to_end_impact(
+            result.overhead_bytes, packet_payload_bytes
+        )
+    return DeploymentRecord(
+        framework=framework.name,
+        overhead_bytes=result.overhead_bytes,
+        solve_time_s=result.solve_time_s,
+        timed_out=result.timed_out,
+        occupied_switches=result.plan.num_occupied_switches(),
+        fct_ratio=fct_ratio,
+        goodput_ratio=goodput_ratio,
+    )
+
+
 def run_deployment_suite(
     programs: Sequence[Program],
     network: Network,
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
     packet_payload_bytes: int = 1024,
     with_end_to_end: bool = True,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> Dict[str, DeploymentRecord]:
     """Run every framework on one deployment problem.
 
-    Returns framework name -> :class:`DeploymentRecord`.  Frameworks
-    share one :class:`PathEnumerator` so path caching amortizes.
+    Returns framework name -> :class:`DeploymentRecord`.  Without a
+    ``runner`` the frameworks run serially in-process, sharing one
+    :class:`PathEnumerator` so path caching amortizes.  With a
+    :class:`~repro.experiments.runner.ExperimentRunner` the
+    (framework x problem) cells fan out across its worker pool and its
+    result cache / journal apply; results are identical either way (up
+    to wall-clock timings).
     """
     frameworks = (
         list(frameworks) if frameworks is not None else default_frameworks()
     )
+    if runner is not None:
+        from repro.experiments.runner.executor import Cell
+
+        results = runner.run_cells(
+            [
+                Cell(
+                    programs=tuple(programs),
+                    network=network,
+                    framework=framework,
+                    packet_payload_bytes=packet_payload_bytes,
+                    with_end_to_end=with_end_to_end,
+                )
+                for framework in frameworks
+            ]
+        )
+        return {res.cell.framework.name: res.record for res in results}
     paths = PathEnumerator(network)
     records: Dict[str, DeploymentRecord] = {}
     for framework in frameworks:
-        result: FrameworkResult = framework.deploy(programs, network, paths)
-        fct_ratio, goodput_ratio = 1.0, 1.0
-        if with_end_to_end:
-            fct_ratio, goodput_ratio = end_to_end_impact(
-                result.overhead_bytes, packet_payload_bytes
-            )
-        records[framework.name] = DeploymentRecord(
-            framework=framework.name,
-            overhead_bytes=result.overhead_bytes,
-            solve_time_s=result.solve_time_s,
-            timed_out=result.timed_out,
-            occupied_switches=result.plan.num_occupied_switches(),
-            fct_ratio=fct_ratio,
-            goodput_ratio=goodput_ratio,
+        records[framework.name] = run_single_deployment(
+            programs,
+            network,
+            framework,
+            packet_payload_bytes=packet_payload_bytes,
+            with_end_to_end=with_end_to_end,
+            paths=paths,
         )
     return records

@@ -1,0 +1,54 @@
+"""Parallel experiment runner: pool executor, result cache, telemetry.
+
+The subsystem behind ``python -m repro exp* --workers N --cache-dir D
+--journal J``:
+
+* :mod:`~repro.experiments.runner.executor` — fans (framework x
+  problem) cells across a process pool with deterministic result
+  ordering and an inline serial fallback;
+* :mod:`~repro.experiments.runner.cache_key` /
+  :mod:`~repro.experiments.runner.cache` — content-addressed on-disk
+  cache of :class:`~repro.experiments.harness.DeploymentRecord`
+  results, keyed by a stable hash of (programs, network, framework
+  config, harness params);
+* :mod:`~repro.experiments.runner.telemetry` — per-run JSONL journal
+  of the runner / deploy / solver event streams.
+"""
+
+from repro.experiments.runner.cache import ResultCache
+from repro.experiments.runner.cache_key import (
+    CACHE_KEY_VERSION,
+    cache_key,
+    framework_fingerprint,
+    network_fingerprint,
+    program_fingerprint,
+)
+from repro.experiments.runner.executor import (
+    Cell,
+    CellResult,
+    ExperimentRunner,
+    RunnerConfig,
+    execute_cells,
+)
+from repro.experiments.runner.telemetry import (
+    JournalWriter,
+    count_events,
+    read_journal,
+)
+
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "Cell",
+    "CellResult",
+    "ExperimentRunner",
+    "JournalWriter",
+    "ResultCache",
+    "RunnerConfig",
+    "cache_key",
+    "count_events",
+    "execute_cells",
+    "framework_fingerprint",
+    "network_fingerprint",
+    "program_fingerprint",
+    "read_journal",
+]

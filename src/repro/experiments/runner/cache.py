@@ -1,0 +1,90 @@
+"""Content-addressed on-disk cache of deployment records.
+
+Entries are keyed by the SHA-256 fingerprint from
+:mod:`repro.experiments.runner.cache_key` and stored as small JSON
+files (``<root>/<k[:2]>/<key>.json``), so repeated sweep points and
+re-runs of an experiment return :class:`DeploymentRecord` objects
+without re-solving anything.  Writes are atomic (temp file +
+``os.replace``), making the cache safe to share between concurrent
+runs; corrupt or version-skewed entries read as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.harness import DeploymentRecord
+from repro.experiments.runner.cache_key import CACHE_KEY_VERSION
+
+
+class ResultCache:
+    """A directory of cached :class:`DeploymentRecord` results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[DeploymentRecord]:
+        """The cached record for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("version") != CACHE_KEY_VERSION:
+            self.misses += 1
+            return None
+        fields = payload.get("record")
+        try:
+            record = DeploymentRecord(**fields)
+        except TypeError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: DeploymentRecord) -> Path:
+        """Store ``record`` under ``key`` (atomic replace)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_KEY_VERSION,
+            "key": key,
+            "record": dataclasses.asdict(record),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,107 @@
+"""Per-run JSONL journal.
+
+Every experiment run through the runner can write a journal: one JSON
+object per line, in deterministic (submission) order regardless of how
+many workers executed the cells.  The journal interleaves three event
+layers:
+
+* runner events — ``cell.start`` / ``cell.done`` / ``cache.hit`` with
+  the cell index, framework and sweep tag;
+* deploy events — ``deploy.start`` / ``deploy.done`` emitted by
+  :meth:`repro.baselines.base.DeploymentFramework.deploy`;
+* solver events — ``solver.lp`` / ``solver.node`` / ``solver.prune`` /
+  ``solver.incumbent`` / ``solver.done`` emitted by
+  :class:`repro.milp.branch_bound.BranchBoundSolver`.
+
+Because events stream through :mod:`repro.telemetry`, journal lines for
+a cell executed in a worker process are recorded there and serialized
+by the parent, so the file is complete and ordered even for parallel
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.telemetry import Event
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of event payloads to strict JSON."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class JournalWriter:
+    """Append-only JSONL journal with sequence numbering."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._seq = 0
+
+    def write(self, event: Event) -> None:
+        line = {"seq": self._seq}
+        line.update({k: _jsonable(v) for k, v in event.items()})
+        self._fh.write(json.dumps(line, sort_keys=False) + "\n")
+        self._seq += 1
+
+    def write_all(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.write(event)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL journal back into event dicts (empty if absent)."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    events: List[Dict[str, Any]] = []
+    with p.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def count_events(
+    events: Iterable[Dict[str, Any]],
+    kind: str,
+    cell: Optional[int] = None,
+) -> int:
+    """How many events of ``kind`` (optionally for one cell index)."""
+    return sum(
+        1
+        for e in events
+        if e.get("kind") == kind and (cell is None or e.get("cell") == cell)
+    )

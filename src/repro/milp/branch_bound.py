@@ -23,6 +23,7 @@ from scipy.optimize import linprog
 
 from repro.milp.model import Model, Var
 from repro.milp.solution import Solution, SolveStatus
+from repro.telemetry import emit
 
 _INT_TOL = 1e-6
 _OBJ_TOL = 1e-9
@@ -43,6 +44,17 @@ class BranchBoundSolver:
             returned with status FEASIBLE (or TIME_LIMIT if none).
         node_limit: Hard cap on explored nodes.
         gap_tolerance: Relative gap at which the search may stop early.
+
+    Telemetry: when a sink is attached via :mod:`repro.telemetry`, the
+    solver emits one ``solver.lp`` event per LP relaxation solved, one
+    ``solver.node`` per explored node, ``solver.prune`` on every pruned
+    node/child, ``solver.incumbent`` (with objective, bound and
+    relative gap) whenever the incumbent improves, and a final
+    ``solver.done`` carrying the :meth:`Solution.summary`.  Event
+    counts therefore match ``Solution.lp_solves`` and
+    ``Solution.nodes_explored`` exactly, and the gap values across the
+    ``solver.incumbent`` stream trace the convergence trajectory.
+    Without a sink every emit is a no-op.
     """
 
     def __init__(
@@ -107,10 +119,18 @@ class BranchBoundSolver:
             if feasible(candidate):
                 incumbent = candidate
                 incumbent_obj = float(c @ candidate)
+                emit(
+                    "solver.incumbent",
+                    source="warm_start",
+                    objective=sign * incumbent_obj,
+                    bound=None,
+                    gap=None,
+                )
 
         def lp(bounds: List[Tuple[float, float]]):
             nonlocal lp_solves
             lp_solves += 1
+            emit("solver.lp")
             return linprog(
                 c,
                 A_ub=a_ub,
@@ -123,16 +143,20 @@ class BranchBoundSolver:
 
         root = lp(root_bounds)
         if root.status == 2:
-            return Solution(
-                SolveStatus.INFEASIBLE,
-                lp_solves=lp_solves,
-                wall_time_s=time.perf_counter() - start,
+            return self._finish(
+                Solution(
+                    SolveStatus.INFEASIBLE,
+                    lp_solves=lp_solves,
+                    wall_time_s=time.perf_counter() - start,
+                )
             )
         if root.status == 3:
-            return Solution(
-                SolveStatus.UNBOUNDED,
-                lp_solves=lp_solves,
-                wall_time_s=time.perf_counter() - start,
+            return self._finish(
+                Solution(
+                    SolveStatus.UNBOUNDED,
+                    lp_solves=lp_solves,
+                    wall_time_s=time.perf_counter() - start,
+                )
             )
         if root.status != 0:  # pragma: no cover - numerical trouble
             raise RuntimeError(f"LP solver failed: {root.message}")
@@ -147,6 +171,13 @@ class BranchBoundSolver:
         )
         if dive is not None and dive[1] < incumbent_obj:
             incumbent, incumbent_obj = dive
+            emit(
+                "solver.incumbent",
+                source="root_dive",
+                objective=sign * incumbent_obj,
+                bound=sign * root.fun,
+                gap=self._relative_gap(incumbent_obj, root.fun),
+            )
 
         tie = itertools.count()
         heap: List[_Node] = [_Node(root.fun, next(tie), root_bounds)]
@@ -167,7 +198,9 @@ class BranchBoundSolver:
                 break
             node = heapq.heappop(heap)
             if node.bound >= incumbent_obj - _OBJ_TOL:
-                continue  # pruned: cannot improve the incumbent
+                # Pruned: cannot improve the incumbent.
+                emit("solver.prune", where="pop", bound=sign * node.bound)
+                continue
             best_bound = min(node.bound, incumbent_obj)
 
             hit = cached.pop(id(node.var_bounds), None)
@@ -176,10 +209,14 @@ class BranchBoundSolver:
             else:
                 res = lp(node.var_bounds)
                 if res.status != 0:
-                    continue  # infeasible/unbounded subproblem
+                    # Infeasible/unbounded subproblem.
+                    emit("solver.prune", where="node_infeasible")
+                    continue
                 x, obj = res.x, res.fun
             nodes_explored += 1
+            emit("solver.node", bound=sign * obj)
             if obj >= incumbent_obj - _OBJ_TOL:
+                emit("solver.prune", where="node_bound", bound=sign * obj)
                 continue
 
             frac_var = self._most_fractional(x, int_indices)
@@ -187,6 +224,13 @@ class BranchBoundSolver:
                 # Integral LP optimum: new incumbent.
                 incumbent = x.copy()
                 incumbent_obj = obj
+                emit(
+                    "solver.incumbent",
+                    source="node",
+                    objective=sign * incumbent_obj,
+                    bound=sign * best_bound,
+                    gap=self._relative_gap(incumbent_obj, best_bound),
+                )
                 continue
 
             # Periodic dive while no incumbent exists: weak relaxations
@@ -198,6 +242,13 @@ class BranchBoundSolver:
                 )
                 if dived is not None:
                     incumbent, incumbent_obj = dived
+                    emit(
+                        "solver.incumbent",
+                        source="dive",
+                        objective=sign * incumbent_obj,
+                        bound=sign * best_bound,
+                        gap=self._relative_gap(incumbent_obj, best_bound),
+                    )
 
             # Rounding heuristic: snap integral vars, re-check.
             rounded = self._round_candidate(feasible, x, int_indices)
@@ -206,6 +257,13 @@ class BranchBoundSolver:
                 if r_obj < incumbent_obj - _OBJ_TOL:
                     incumbent = rounded
                     incumbent_obj = r_obj
+                    emit(
+                        "solver.incumbent",
+                        source="rounding",
+                        objective=sign * incumbent_obj,
+                        bound=sign * best_bound,
+                        gap=self._relative_gap(incumbent_obj, best_bound),
+                    )
 
             value = x[frac_var]
             for lo, hi in (
@@ -218,8 +276,14 @@ class BranchBoundSolver:
                 child_bounds[frac_var] = (float(lo), float(hi))
                 res = lp(child_bounds)
                 if res.status != 0:
+                    emit("solver.prune", where="child_infeasible")
                     continue
                 if res.fun >= incumbent_obj - _OBJ_TOL:
+                    emit(
+                        "solver.prune",
+                        where="child_bound",
+                        bound=sign * res.fun,
+                    )
                     continue
                 child = _Node(res.fun, next(tie), child_bounds)
                 cached[id(child_bounds)] = (res.x, res.fun)
@@ -228,11 +292,13 @@ class BranchBoundSolver:
         wall = time.perf_counter() - start
         if incumbent is None:
             status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
-            return Solution(
-                status,
-                nodes_explored=nodes_explored,
-                lp_solves=lp_solves,
-                wall_time_s=wall,
+            return self._finish(
+                Solution(
+                    status,
+                    nodes_explored=nodes_explored,
+                    lp_solves=lp_solves,
+                    wall_time_s=wall,
+                )
             )
 
         values = {
@@ -243,21 +309,38 @@ class BranchBoundSolver:
             )
             for var in model.variables
         }
-        gap = self._relative_gap(incumbent_obj, best_bound)
         status = (
             SolveStatus.FEASIBLE
             if timed_out and heap
             else SolveStatus.OPTIMAL
         )
-        return Solution(
-            status,
-            objective=sign * incumbent_obj,
-            values=values,
-            nodes_explored=nodes_explored,
-            lp_solves=lp_solves,
-            wall_time_s=wall,
-            gap=0.0 if status is SolveStatus.OPTIMAL else gap,
+        # Gap invariant: an exhausted search proved optimality, so the
+        # gap is exactly 0.0 (never None) on OPTIMAL; a truncated
+        # search reports the true incumbent-vs-bound gap, which is a
+        # finite float whenever an incumbent exists (the root LP bound
+        # is finite).
+        if status is SolveStatus.OPTIMAL:
+            gap = 0.0
+        else:
+            gap = self._relative_gap(incumbent_obj, best_bound)
+        return self._finish(
+            Solution(
+                status,
+                objective=sign * incumbent_obj,
+                values=values,
+                nodes_explored=nodes_explored,
+                lp_solves=lp_solves,
+                wall_time_s=wall,
+                gap=gap,
+            )
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish(solution: Solution) -> Solution:
+        """Emit the terminal ``solver.done`` event and pass through."""
+        emit("solver.done", **solution.summary())
+        return solution
 
     # ------------------------------------------------------------------
     def _dive(

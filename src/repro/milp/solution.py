@@ -36,8 +36,12 @@ class Solution:
         nodes_explored: Branch & bound nodes processed.
         lp_solves: LP relaxations solved.
         wall_time_s: Wall-clock solve time.
-        gap: Relative optimality gap of the incumbent (0.0 when proven
-            optimal; None when unknown).
+        gap: Relative optimality gap of the incumbent.  Invariant:
+            always exactly ``0.0`` on OPTIMAL (normalized at
+            construction, so no OPTIMAL solution ever carries ``None``);
+            a non-negative float on FEASIBLE; ``None`` only when there
+            is no incumbent to measure (INFEASIBLE / UNBOUNDED /
+            TIME_LIMIT).
     """
 
     status: SolveStatus
@@ -48,6 +52,13 @@ class Solution:
     wall_time_s: float = 0.0
     gap: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        # A proven-optimal solution has, by definition, zero gap; the
+        # None-vs-0.0 ambiguity previously leaked to callers comparing
+        # gaps across solves.
+        if self.status is SolveStatus.OPTIMAL and self.gap is None:
+            self.gap = 0.0
+
     def __getitem__(self, var: Var) -> float:
         return self.values[var]
 
@@ -57,6 +68,17 @@ class Solution:
     def rounded(self, var: Var) -> int:
         """Integer value of an integral variable in the incumbent."""
         return int(round(self.values[var]))
+
+    def summary(self) -> Dict[str, object]:
+        """Scalar solve statistics (telemetry / journal payload)."""
+        return {
+            "status": self.status.value,
+            "objective": self.objective,
+            "nodes_explored": self.nodes_explored,
+            "lp_solves": self.lp_solves,
+            "wall_time_s": self.wall_time_s,
+            "gap": self.gap,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         obj = f"{self.objective:.6g}" if self.objective is not None else "-"

@@ -1,0 +1,88 @@
+"""Lightweight process-local event bus.
+
+Instrumented code (the branch & bound solver, the deployment framework
+interface) calls :func:`emit` at interesting moments; by default that is
+a no-op costing one attribute lookup.  A caller who wants the events —
+the experiment runner's journal, a test, an ad-hoc profiler — attaches a
+*sink* (any callable taking one ``dict``) around the code under
+observation:
+
+    rec = Recorder()
+    with attached(rec):
+        solver.solve(model)
+    assert rec.count("solver.lp") == solution.lp_solves
+
+Sinks are thread-local, so concurrently running solves (e.g. worker
+threads) never interleave their event streams.  Worker *processes*
+each carry their own bus; the experiment runner collects their recorded
+events through the task return value and serializes them into the
+per-run journal in deterministic order.
+
+The bus deliberately lives outside :mod:`repro.experiments` so that the
+low-level layers (``repro.milp``, ``repro.baselines``) can emit without
+depending on the experiment machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: A telemetry event: ``{"kind": <str>, **payload}``.
+Event = Dict[str, Any]
+Sink = Callable[[Event], None]
+
+_state = threading.local()
+
+
+def current_sink() -> Optional[Sink]:
+    """The sink attached to this thread, or None."""
+    return getattr(_state, "sink", None)
+
+
+def emit(kind: str, **payload: Any) -> None:
+    """Send one event to the attached sink (no-op without a sink)."""
+    sink = getattr(_state, "sink", None)
+    if sink is None:
+        return
+    event: Event = {"kind": kind}
+    event.update(payload)
+    sink(event)
+
+
+@contextmanager
+def attached(sink: Sink) -> Iterator[Sink]:
+    """Attach ``sink`` as this thread's event sink for the block.
+
+    Nested attachments stack: the innermost sink wins and the previous
+    one is restored on exit.
+    """
+    previous = getattr(_state, "sink", None)
+    _state.sink = sink
+    try:
+        yield sink
+    finally:
+        _state.sink = previous
+
+
+class Recorder:
+    """A sink that keeps every event in order of emission."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.get("kind") == kind)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -97,6 +97,7 @@ class TestCommands:
         assert code == 0
         assert '"stages"' in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_exp2_reduced_runs(self, capsys):
         code = main(
             [
@@ -114,6 +115,7 @@ class TestCommands:
 
 
 class TestMoreCommands:
+    @pytest.mark.slow
     def test_exp3_and_exp4_share_exp2_machinery(self, capsys):
         assert (
             main(
@@ -216,6 +218,7 @@ class TestJsonExport:
         assert {"topology", "framework", "overhead_bytes"} <= set(rows[0])
 
 
+@pytest.mark.slow
 def test_quick_report(capsys):
     assert main(["report"]) == 0
     out = capsys.readouterr().out

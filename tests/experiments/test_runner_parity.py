@@ -1,0 +1,206 @@
+"""Regression layer for the parallel experiment runner.
+
+Locks in the runner's core guarantee: for a fixed workload/topology the
+:class:`DeploymentRecord` outcomes are identical across ``workers=1``,
+``workers=4`` and cache-warm re-runs, and a warm cache skips every LP
+solve (verified through the journal's solver event counts).
+
+The golden snapshot in ``golden_records.json`` pins the serial
+baseline itself, so a behaviour change in any framework or in the
+harness shows up as a diff against checked-in numbers, not just as a
+serial-vs-parallel mismatch.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import Ffl, Ffls, HermesHeuristic, MinStage
+from repro.experiments.exp2_overhead import run as run_exp2
+from repro.experiments.runner import (
+    Cell,
+    ExperimentRunner,
+    count_events,
+    read_journal,
+)
+from repro.network.generators import linear_topology
+from repro.workloads import sketch_programs, synthetic_programs
+
+GOLDEN_PATH = Path(__file__).parent / "golden_records.json"
+
+#: Generous limit: the per-program MS ILPs here solve in milliseconds,
+#: so ``timed_out`` is deterministically False on any machine.
+MS_TIME_LIMIT_S = 30.0
+
+
+def parity_programs():
+    """Small fixed workload: 3 sketches + 2 seeded synthetic programs."""
+    return tuple(sketch_programs(3)) + tuple(synthetic_programs(2, seed=11))
+
+
+def parity_network():
+    return linear_topology(4, num_stages=4, stage_capacity=2.0)
+
+
+def parity_frameworks():
+    """Three pure heuristics plus one ILP framework (solver coverage)."""
+    return [
+        HermesHeuristic(),
+        Ffl(),
+        Ffls(),
+        MinStage(time_limit_s=MS_TIME_LIMIT_S),
+    ]
+
+
+def parity_cells():
+    programs = parity_programs()
+    network = parity_network()
+    return [
+        Cell(programs=programs, network=network, framework=framework)
+        for framework in parity_frameworks()
+    ]
+
+
+def deterministic(results):
+    """Submission-ordered deterministic fields of a cell-result list."""
+    return [res.record.deterministic_fields() for res in results]
+
+
+class TestGoldenSnapshots:
+    def test_serial_run_matches_golden(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        results = ExperimentRunner().run_cells(parity_cells())
+        assert len(results) == len(golden)
+        for res, expected in zip(results, golden):
+            got = res.record.deterministic_fields()
+            assert got["framework"] == expected["framework"]
+            assert got["overhead_bytes"] == expected["overhead_bytes"]
+            assert got["timed_out"] == expected["timed_out"]
+            assert (
+                got["occupied_switches"] == expected["occupied_switches"]
+            )
+            assert got["fct_ratio"] == pytest.approx(
+                expected["fct_ratio"], rel=1e-9
+            )
+            assert got["goodput_ratio"] == pytest.approx(
+                expected["goodput_ratio"], rel=1e-9
+            )
+
+
+class TestWorkerParity:
+    def test_parallel_matches_serial(self):
+        serial = ExperimentRunner(workers=1).run_cells(parity_cells())
+        parallel = ExperimentRunner(workers=4).run_cells(parity_cells())
+        assert deterministic(serial) == deterministic(parallel)
+
+    def test_results_keep_submission_order(self):
+        results = ExperimentRunner(workers=4).run_cells(parity_cells())
+        assert [res.cell.framework.name for res in results] == [
+            f.name for f in parity_frameworks()
+        ]
+
+
+class TestCacheWarmParity:
+    def test_warm_rerun_returns_identical_records_without_solving(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        cold_journal = tmp_path / "cold.jsonl"
+        warm_journal = tmp_path / "warm.jsonl"
+
+        cold = ExperimentRunner(
+            workers=1, cache_dir=str(cache_dir), journal=str(cold_journal)
+        ).run_cells(parity_cells())
+        warm = ExperimentRunner(
+            workers=4, cache_dir=str(cache_dir), journal=str(warm_journal)
+        ).run_cells(parity_cells())
+
+        # Identical down to the recorded solve time: cached cells
+        # return the stored record, not a re-measured one.
+        assert [dataclasses.asdict(r.record) for r in cold] == [
+            dataclasses.asdict(r.record) for r in warm
+        ]
+        assert all(res.cached for res in warm)
+        assert not any(res.cached for res in cold)
+
+        cold_events = read_journal(cold_journal)
+        warm_events = read_journal(warm_journal)
+        # The MS ILP solved LPs on the cold run; the warm run solved
+        # none at all and hit the cache once per cell.
+        assert count_events(cold_events, "solver.lp") > 0
+        assert count_events(cold_events, "cache.hit") == 0
+        assert count_events(warm_events, "solver.lp") == 0
+        assert count_events(warm_events, "deploy.start") == 0
+        assert count_events(warm_events, "cache.hit") == len(parity_cells())
+
+    def test_identical_cells_within_one_run_solve_once(self, tmp_path):
+        cells = parity_cells()[:1] * 3
+        journal = tmp_path / "dedup.jsonl"
+        results = ExperimentRunner(
+            workers=1, cache_dir=str(tmp_path / "c"), journal=str(journal)
+        ).run_cells(cells)
+        assert [r.cached for r in results] == [False, True, True]
+        events = read_journal(journal)
+        assert count_events(events, "deploy.start") == 1
+        assert count_events(events, "cache.hit") == 2
+
+    def test_journal_interleaves_cell_markers(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        ExperimentRunner(workers=1, journal=str(journal)).run_cells(
+            parity_cells()
+        )
+        events = read_journal(journal)
+        starts = [e for e in events if e["kind"] == "cell.start"]
+        dones = [e for e in events if e["kind"] == "cell.done"]
+        assert [e["cell"] for e in starts] == list(
+            range(len(parity_cells()))
+        )
+        assert len(dones) == len(parity_cells())
+        assert all("record" in e for e in dones)
+
+
+class TestExp2Parity:
+    """Reduced-scale version of the acceptance criterion: ``repro exp2
+    --workers 4`` is record-identical to the serial run, and a
+    cache-warm repeat skips every LP solve."""
+
+    FRAMEWORKS = staticmethod(
+        lambda: [HermesHeuristic(), Ffl(), MinStage(time_limit_s=30.0)]
+    )
+
+    def test_exp2_workers4_matches_serial_and_caches(self, tmp_path):
+        kwargs = dict(topology_ids=(2,), num_programs=4)
+        serial = run_exp2(frameworks=self.FRAMEWORKS(), **kwargs)
+
+        cache_dir = str(tmp_path / "cache")
+        cold_j, warm_j = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+        parallel = run_exp2(
+            frameworks=self.FRAMEWORKS(),
+            runner=ExperimentRunner(
+                workers=4, cache_dir=cache_dir, journal=str(cold_j)
+            ),
+            **kwargs,
+        )
+        warm = run_exp2(
+            frameworks=self.FRAMEWORKS(),
+            runner=ExperimentRunner(
+                workers=4, cache_dir=cache_dir, journal=str(warm_j)
+            ),
+            **kwargs,
+        )
+
+        def fields(points):
+            return [
+                (p.topology_id, p.record.deterministic_fields())
+                for p in points
+            ]
+
+        assert fields(serial) == fields(parallel) == fields(warm)
+        assert count_events(read_journal(cold_j), "solver.lp") > 0
+        warm_events = read_journal(warm_j)
+        assert count_events(warm_events, "solver.lp") == 0
+        assert count_events(warm_events, "cache.hit") == len(
+            self.FRAMEWORKS()
+        )

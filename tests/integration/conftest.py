@@ -1,0 +1,23 @@
+"""Marker policy for the integration suite.
+
+Everything under ``tests/integration/`` runs full paper workflows
+(multi-framework deployments, end-to-end claims) and takes tens of
+seconds, so the whole directory is marked ``integration`` and ``slow``.
+The default ``pytest -q`` run excludes the ``slow`` marker; run these
+with ``pytest -m slow`` or ``pytest -m integration``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+_HERE = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    # This hook sees the whole session's items, not just this
+    # directory's — restrict the markers to tests that live here.
+    for item in items:
+        if _HERE in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.integration)
+            item.add_marker(pytest.mark.slow)
