@@ -89,6 +89,7 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         epsilon2=args.epsilon2,
         time_limit_s=args.time_limit,
         replicate_hubs="auto" if args.replicate else False,
+        solver_profile=args.solver_profile,
     )
     result = hermes.deploy(programs, network)
     plan = result.plan
@@ -163,6 +164,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             num_programs=args.programs,
             ilp_time_limit_s=args.time_limit,
             runner=runner,
+            solver_profile=args.solver_profile,
         )
         {
             "exp2": exp2_overhead.main,
@@ -183,6 +185,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             program_counts=tuple(args.programs_sweep),
             ilp_time_limit_s=args.time_limit,
             runner=runner,
+            solver_profile=args.solver_profile,
         )
         exp5_scalability.main(points)
         _maybe_export(
@@ -262,6 +265,21 @@ def _maybe_export(args: argparse.Namespace, rows: list) -> None:
     print(f"wrote {len(rows)} rows to {path}")
 
 
+def _add_solver_profile_flag(p: argparse.ArgumentParser) -> None:
+    from repro.milp.branch_bound import DEFAULT_PROFILE, SOLVER_PROFILES
+
+    p.add_argument(
+        "--solver-profile",
+        choices=tuple(SOLVER_PROFILES),
+        default=DEFAULT_PROFILE,
+        help=(
+            "branch & bound search profile: 'fast' adds presolve, "
+            "pseudo-cost branching and primal heuristics; 'classic' is "
+            "the plain most-fractional search (both are exact)"
+        ),
+    )
+
+
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:
     """The parallel-runner flag set shared by every experiment command."""
     p.add_argument(
@@ -302,6 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--programs", type=int, default=50)
         p.add_argument("--time-limit", type=float, default=10.0)
         p.add_argument("--json", default=None, help="export rows to a JSON file")
+        _add_solver_profile_flag(p)
         _add_runner_flags(p)
 
     p5 = sub.add_parser("exp5", help="run exp5 scalability")
@@ -313,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p5.add_argument("--time-limit", type=float, default=10.0)
     p5.add_argument("--json", default=None, help="export rows to a JSON file")
+    _add_solver_profile_flag(p5)
     _add_runner_flags(p5)
 
     d = sub.add_parser("deploy", help="deploy a workload with Hermes")
@@ -323,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     d.add_argument("--epsilon2", type=int, default=None)
     d.add_argument("--time-limit", type=float, default=30.0)
+    _add_solver_profile_flag(d)
     d.add_argument("--replicate", action="store_true")
     d.add_argument("--diagram", action="store_true")
     d.add_argument("--explain", action="store_true")

@@ -20,6 +20,7 @@ from repro.experiments.harness import (
     default_frameworks,
 )
 from repro.experiments.reporting import Table
+from repro.milp.branch_bound import DEFAULT_PROFILE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentRunner
@@ -53,6 +54,7 @@ def run(
     seed: int = 7,
     ilp_time_limit_s: float = 10.0,
     runner: Optional["ExperimentRunner"] = None,
+    solver_profile: str = DEFAULT_PROFILE,
 ) -> List[Exp2Point]:
     """Deploy the 50-program workload on each selected topology.
 
@@ -75,6 +77,7 @@ def run(
                 per_program_ilp_time_limit_s=max(
                     ilp_time_limit_s / 20.0, 0.2
                 ),
+                solver_profile=solver_profile,
             )
         )
         for framework in sweep_frameworks:

@@ -17,6 +17,7 @@ from repro.experiments.harness import (
     default_frameworks,
 )
 from repro.experiments.reporting import Table
+from repro.milp.branch_bound import DEFAULT_PROFILE
 from repro.network.topozoo import topology_zoo_wan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,6 +40,7 @@ def run(
     seed: int = 7,
     ilp_time_limit_s: float = 10.0,
     runner: Optional["ExperimentRunner"] = None,
+    solver_profile: str = DEFAULT_PROFILE,
 ) -> List[Exp5Point]:
     """Sweep the program count; the whole (framework x count) grid is
     one flat cell list so a parallel ``runner`` overlaps every solve,
@@ -58,6 +60,7 @@ def run(
                 per_program_ilp_time_limit_s=max(
                     ilp_time_limit_s / 20.0, 0.2
                 ),
+                solver_profile=solver_profile,
             )
         )
         for framework in sweep_frameworks:

@@ -28,8 +28,10 @@ from repro.dataplane.program import Program
 from repro.network.topology import Network
 
 #: Bump when the record layout or fingerprint scheme changes; old cache
-#: entries then miss instead of deserializing garbage.
-CACHE_KEY_VERSION = 1
+#: entries then miss instead of deserializing garbage.  v2: ILP-backed
+#: frameworks grew a ``solver_profile`` attribute, so their
+#: fingerprints changed shape.
+CACHE_KEY_VERSION = 2
 
 
 def _canon(value: Any) -> Any:

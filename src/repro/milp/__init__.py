@@ -12,22 +12,47 @@ constraints, minimization and maximization, time limits and incumbent
 callbacks.  It is deliberately a general-purpose component: both the
 Hermes "Optimal" configuration and every ILP-based baseline build their
 models against this API.
+
+The solver runs one of two profiles (see
+:mod:`repro.milp.branch_bound`): ``"fast"`` layers a presolve pass
+(:mod:`repro.milp.presolve`), pseudo-cost branching and primal
+heuristics (:mod:`repro.milp.heuristics`) on top of the search;
+``"classic"`` is the historical most-fractional search kept as the
+trusted differential baseline.  Both are exact and return identical
+optimal objectives.
 """
 
 from repro.milp.expr import LinExpr
 from repro.milp.model import Constraint, Model, Sense, Var, VarType
+from repro.milp.presolve import (
+    PresolvedModel,
+    PresolveStats,
+    PresolveStatus,
+    presolve,
+)
 from repro.milp.solution import Solution, SolveStatus
-from repro.milp.branch_bound import BranchBoundSolver, solve
+from repro.milp.branch_bound import (
+    DEFAULT_PROFILE,
+    SOLVER_PROFILES,
+    BranchBoundSolver,
+    solve,
+)
 
 __all__ = [
     "BranchBoundSolver",
     "Constraint",
+    "DEFAULT_PROFILE",
     "LinExpr",
     "Model",
+    "PresolveStats",
+    "PresolveStatus",
+    "PresolvedModel",
     "Sense",
     "Solution",
     "SolveStatus",
+    "SOLVER_PROFILES",
     "Var",
     "VarType",
+    "presolve",
     "solve",
 ]

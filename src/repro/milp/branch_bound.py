@@ -3,10 +3,26 @@
 Every node relaxes integrality and solves the LP with HiGHS (through
 ``scipy.optimize.linprog``).  Fractional integral variables trigger two
 child nodes (floor / ceil bound splits); nodes whose LP bound cannot
-beat the incumbent are pruned.  A rounding heuristic at each node tries
-to promote the LP solution into an incumbent early, which tightens
-pruning dramatically on placement models where the relaxation is nearly
-integral.
+beat the incumbent are pruned.
+
+The solver runs one of two **profiles**:
+
+* ``"fast"`` (default) — the optimization layer: a presolve pass
+  (:mod:`repro.milp.presolve`) shrinks the model before the search,
+  **pseudo-cost branching** picks branching variables from observed
+  LP-bound degradations instead of raw fractionality, and the primal
+  heuristics (:mod:`repro.milp.heuristics`) supply early incumbents so
+  pruning bites sooner.  Telemetry gains ``solver.presolve``,
+  ``solver.branching`` and ``solver.heuristic`` events, and heuristic
+  incumbents carry ``source="heuristic"``.
+* ``"classic"`` — the historical search, byte-for-byte: no presolve,
+  most-fractional branching, and the original heuristic event sources
+  (``root_dive`` / ``dive`` / ``rounding``).  Kept as the trusted
+  differential baseline; ``tests/milp/test_differential.py`` pins that
+  both profiles return identical optimal objectives.
+
+Both profiles are exact: they prove optimality through LP bounds and
+differ only in how fast they get there.
 """
 
 from __future__ import annotations
@@ -21,12 +37,20 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.milp import heuristics as _heuristics
 from repro.milp.model import Model, Var
+from repro.milp.presolve import PresolveStatus, presolve
 from repro.milp.solution import Solution, SolveStatus
 from repro.telemetry import emit
 
 _INT_TOL = 1e-6
 _OBJ_TOL = 1e-9
+
+#: Search profiles accepted by :class:`BranchBoundSolver`.
+PROFILE_FAST = "fast"
+PROFILE_CLASSIC = "classic"
+SOLVER_PROFILES = (PROFILE_FAST, PROFILE_CLASSIC)
+DEFAULT_PROFILE = PROFILE_FAST
 
 
 @dataclass(order=True)
@@ -34,6 +58,54 @@ class _Node:
     bound: float
     tie: int
     var_bounds: List[Tuple[float, float]] = field(compare=False)
+
+
+class _PseudoCosts:
+    """Per-variable branching statistics (fast profile only).
+
+    For every branching on variable ``j`` at LP value ``v`` with
+    fractionality ``f = v - floor(v)``, the observed LP-bound
+    degradation of the floor child divided by ``f`` (respectively of
+    the ceil child divided by ``1 - f``) updates the down
+    (respectively up) pseudo-cost.  Unobserved directions fall back to
+    the average observed pseudo-cost, the standard initialization.
+    """
+
+    def __init__(self, n: int) -> None:
+        self._sums = [[0.0] * n, [0.0] * n]  # [down, up]
+        self._counts = [[0] * n, [0] * n]
+        self.observations = 0
+
+    def update(self, idx: int, up: bool, degradation: float) -> None:
+        side = 1 if up else 0
+        self._sums[side][idx] += max(degradation, 0.0)
+        self._counts[side][idx] += 1
+        self.observations += 1
+
+    def reliable(self, idx: int) -> bool:
+        """Whether ``idx`` has been observed in both directions."""
+        return bool(self._counts[0][idx] and self._counts[1][idx])
+
+    def _average(self) -> float:
+        total = sum(self._sums[0]) + sum(self._sums[1])
+        count = sum(self._counts[0]) + sum(self._counts[1])
+        return total / count if count else 1.0
+
+    def score(self, idx: int, frac: float) -> float:
+        """The product score of branching on ``idx`` (higher = better)."""
+        fallback = self._average()
+        down = (
+            self._sums[0][idx] / self._counts[0][idx]
+            if self._counts[0][idx]
+            else fallback
+        )
+        up = (
+            self._sums[1][idx] / self._counts[1][idx]
+            if self._counts[1][idx]
+            else fallback
+        )
+        eps = 1e-6
+        return max(down * frac, eps) * max(up * (1.0 - frac), eps)
 
 
 class BranchBoundSolver:
@@ -44,6 +116,9 @@ class BranchBoundSolver:
             returned with status FEASIBLE (or TIME_LIMIT if none).
         node_limit: Hard cap on explored nodes.
         gap_tolerance: Relative gap at which the search may stop early.
+        profile: ``"fast"`` (presolve + pseudo-cost branching + primal
+            heuristics) or ``"classic"`` (the historical search); see
+            the module docstring.
 
     Telemetry: when a sink is attached via :mod:`repro.telemetry`, the
     solver emits one ``solver.lp`` event per LP relaxation solved, one
@@ -53,8 +128,14 @@ class BranchBoundSolver:
     ``solver.done`` carrying the :meth:`Solution.summary`.  Event
     counts therefore match ``Solution.lp_solves`` and
     ``Solution.nodes_explored`` exactly, and the gap values across the
-    ``solver.incumbent`` stream trace the convergence trajectory.
-    Without a sink every emit is a no-op.
+    ``solver.incumbent`` stream trace the convergence trajectory
+    (monotone non-increasing: the proven gap only ever shrinks, so an
+    emitted gap is clamped by its predecessor when the relative
+    normalization would otherwise bounce it upward).  The fast profile
+    additionally emits ``solver.presolve`` (model reduction),
+    ``solver.branching`` (per branching decision) and
+    ``solver.heuristic`` (per heuristic attempt) events.  Without a
+    sink every emit is a no-op.
     """
 
     def __init__(
@@ -62,12 +143,18 @@ class BranchBoundSolver:
         time_limit_s: float = 300.0,
         node_limit: int = 200_000,
         gap_tolerance: float = 1e-6,
+        profile: str = DEFAULT_PROFILE,
     ) -> None:
         if time_limit_s <= 0:
             raise ValueError("time_limit_s must be positive")
+        if profile not in SOLVER_PROFILES:
+            raise ValueError(
+                f"profile must be one of {SOLVER_PROFILES}, got {profile!r}"
+            )
         self.time_limit_s = time_limit_s
         self.node_limit = node_limit
         self.gap_tolerance = gap_tolerance
+        self.profile = profile
 
     # ------------------------------------------------------------------
     def solve(
@@ -82,6 +169,78 @@ class BranchBoundSolver:
         for one; an infeasible assignment is silently ignored.
         """
         start = time.perf_counter()
+        if self.profile == PROFILE_CLASSIC:
+            return self._finish(self._search(model, initial, start))
+        return self._finish(self._solve_fast(model, initial, start))
+
+    # ------------------------------------------------------------------
+    def _solve_fast(
+        self,
+        model: Model,
+        initial: Optional[Dict[Var, float]],
+        start: float,
+    ) -> Solution:
+        """Fast profile: presolve, solve the reduction, lift back."""
+        pres = presolve(model)
+        if pres.status == PresolveStatus.INFEASIBLE:
+            return Solution(
+                SolveStatus.INFEASIBLE,
+                wall_time_s=time.perf_counter() - start,
+            )
+        if pres.status == PresolveStatus.SOLVED:
+            values = dict(pres.fixed)
+            if not model.is_feasible(values):  # pragma: no cover - guard
+                return Solution(
+                    SolveStatus.INFEASIBLE,
+                    wall_time_s=time.perf_counter() - start,
+                )
+            emit(
+                "solver.incumbent",
+                source="presolve",
+                objective=pres.objective_offset,
+                bound=pres.objective_offset,
+                gap=0.0,
+            )
+            return Solution(
+                SolveStatus.OPTIMAL,
+                objective=pres.objective_offset,
+                values=values,
+                wall_time_s=time.perf_counter() - start,
+                gap=0.0,
+            )
+
+        projected = (
+            pres.project_values(initial) if initial is not None else None
+        )
+        inner = self._search(pres.model, projected, start)
+        objective = inner.objective
+        values = inner.values
+        if inner.status.has_solution:
+            objective = (
+                inner.objective + pres.objective_offset
+                if inner.objective is not None
+                else None
+            )
+            values = pres.lift_values(inner.values)
+        return Solution(
+            inner.status,
+            objective=objective,
+            values=values,
+            nodes_explored=inner.nodes_explored,
+            lp_solves=inner.lp_solves,
+            wall_time_s=time.perf_counter() - start,
+            gap=inner.gap,
+        )
+
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        model: Model,
+        initial: Optional[Dict[Var, float]],
+        start: float,
+    ) -> Solution:
+        """The branch & bound search itself (profile-parameterized)."""
+        fast = self.profile == PROFILE_FAST
         c, a_ub, b_ub, a_eq, b_eq, root_bounds = model.to_arrays()
         int_indices = [v.index for v in model.variables if v.is_integral]
         sign = -1.0 if model.maximize_objective else 1.0
@@ -109,6 +268,36 @@ class BranchBoundSolver:
         nodes_explored = 0
         incumbent: Optional[np.ndarray] = None
         incumbent_obj = math.inf  # in minimize space
+        last_gap: Optional[float] = None
+
+        def emit_incumbent(
+            source: str,
+            obj: float,
+            bound: Optional[float],
+            **extra: object,
+        ) -> None:
+            """Report an improved incumbent; gaps are clamped monotone
+            (the proven gap only shrinks — a relative-gap bounce from
+            the shrinking denominator is a normalization artifact, not
+            a loosened proof)."""
+            nonlocal last_gap
+            gap = (
+                self._relative_gap(obj, bound)
+                if bound is not None
+                else None
+            )
+            if gap is not None:
+                if last_gap is not None:
+                    gap = min(gap, last_gap)
+                last_gap = gap
+            emit(
+                "solver.incumbent",
+                source=source,
+                objective=sign * obj,
+                bound=sign * bound if bound is not None else None,
+                gap=gap,
+                **extra,
+            )
 
         if initial is not None:
             candidate = np.zeros(len(model.variables))
@@ -119,13 +308,7 @@ class BranchBoundSolver:
             if feasible(candidate):
                 incumbent = candidate
                 incumbent_obj = float(c @ candidate)
-                emit(
-                    "solver.incumbent",
-                    source="warm_start",
-                    objective=sign * incumbent_obj,
-                    bound=None,
-                    gap=None,
-                )
+                emit_incumbent("warm_start", incumbent_obj, None)
 
         def lp(bounds: List[Tuple[float, float]]):
             nonlocal lp_solves
@@ -143,20 +326,16 @@ class BranchBoundSolver:
 
         root = lp(root_bounds)
         if root.status == 2:
-            return self._finish(
-                Solution(
-                    SolveStatus.INFEASIBLE,
-                    lp_solves=lp_solves,
-                    wall_time_s=time.perf_counter() - start,
-                )
+            return Solution(
+                SolveStatus.INFEASIBLE,
+                lp_solves=lp_solves,
+                wall_time_s=time.perf_counter() - start,
             )
         if root.status == 3:
-            return self._finish(
-                Solution(
-                    SolveStatus.UNBOUNDED,
-                    lp_solves=lp_solves,
-                    wall_time_s=time.perf_counter() - start,
-                )
+            return Solution(
+                SolveStatus.UNBOUNDED,
+                lp_solves=lp_solves,
+                wall_time_s=time.perf_counter() - start,
             )
         if root.status != 0:  # pragma: no cover - numerical trouble
             raise RuntimeError(f"LP solver failed: {root.message}")
@@ -166,17 +345,24 @@ class BranchBoundSolver:
         # Root dive: fix near-integral variables one at a time to seed
         # an incumbent early — essential for models whose LP relaxation
         # is weak (e.g. min-switch-count objectives).
-        dive = self._dive(
-            lp, root.x, root_bounds, int_indices, feasible, deadline, c
+        dive = _heuristics.bounded_dive(
+            lp,
+            root.x,
+            root_bounds,
+            int_indices,
+            feasible,
+            c,
+            deadline,
+            telemetry=fast,
+            sign=sign,
         )
         if dive is not None and dive[1] < incumbent_obj:
             incumbent, incumbent_obj = dive
-            emit(
-                "solver.incumbent",
-                source="root_dive",
-                objective=sign * incumbent_obj,
-                bound=sign * root.fun,
-                gap=self._relative_gap(incumbent_obj, root.fun),
+            emit_incumbent(
+                "heuristic" if fast else "root_dive",
+                incumbent_obj,
+                root.fun,
+                **({"heuristic": "diving"} if fast else {}),
             )
 
         tie = itertools.count()
@@ -186,6 +372,7 @@ class BranchBoundSolver:
             id(root_bounds): (root.x, root.fun)
         }
 
+        pseudo = _PseudoCosts(len(root_bounds)) if fast else None
         best_bound = root.fun
         timed_out = False
 
@@ -219,56 +406,59 @@ class BranchBoundSolver:
                 emit("solver.prune", where="node_bound", bound=sign * obj)
                 continue
 
-            frac_var = self._most_fractional(x, int_indices)
+            frac_var = self._select_branch_var(x, int_indices, pseudo)
             if frac_var is None:
                 # Integral LP optimum: new incumbent.
                 incumbent = x.copy()
                 incumbent_obj = obj
-                emit(
-                    "solver.incumbent",
-                    source="node",
-                    objective=sign * incumbent_obj,
-                    bound=sign * best_bound,
-                    gap=self._relative_gap(incumbent_obj, best_bound),
-                )
+                emit_incumbent("node", incumbent_obj, best_bound)
                 continue
 
             # Periodic dive while no incumbent exists: weak relaxations
             # can otherwise branch for the whole budget without ever
             # reaching an integral vertex.
             if incumbent is None and nodes_explored % 50 == 1:
-                dived = self._dive(
-                    lp, x, node.var_bounds, int_indices, feasible, deadline, c
+                dived = _heuristics.bounded_dive(
+                    lp,
+                    x,
+                    node.var_bounds,
+                    int_indices,
+                    feasible,
+                    c,
+                    deadline,
+                    telemetry=fast,
+                    sign=sign,
                 )
                 if dived is not None:
                     incumbent, incumbent_obj = dived
-                    emit(
-                        "solver.incumbent",
-                        source="dive",
-                        objective=sign * incumbent_obj,
-                        bound=sign * best_bound,
-                        gap=self._relative_gap(incumbent_obj, best_bound),
+                    emit_incumbent(
+                        "heuristic" if fast else "dive",
+                        incumbent_obj,
+                        best_bound,
+                        **({"heuristic": "diving"} if fast else {}),
                     )
 
             # Rounding heuristic: snap integral vars, re-check.
-            rounded = self._round_candidate(feasible, x, int_indices)
+            rounded = _heuristics.round_to_feasible(
+                x, int_indices, feasible, c, telemetry=fast, sign=sign
+            )
             if rounded is not None:
                 r_obj = float(c @ rounded)
                 if r_obj < incumbent_obj - _OBJ_TOL:
                     incumbent = rounded
                     incumbent_obj = r_obj
-                    emit(
-                        "solver.incumbent",
-                        source="rounding",
-                        objective=sign * incumbent_obj,
-                        bound=sign * best_bound,
-                        gap=self._relative_gap(incumbent_obj, best_bound),
+                    emit_incumbent(
+                        "heuristic" if fast else "rounding",
+                        incumbent_obj,
+                        best_bound,
+                        **({"heuristic": "rounding"} if fast else {}),
                     )
 
             value = x[frac_var]
-            for lo, hi in (
-                (node.var_bounds[frac_var][0], math.floor(value)),
-                (math.ceil(value), node.var_bounds[frac_var][1]),
+            frac = value - math.floor(value)
+            for child_up, (lo, hi) in (
+                (False, (node.var_bounds[frac_var][0], math.floor(value))),
+                (True, (math.ceil(value), node.var_bounds[frac_var][1])),
             ):
                 if lo > hi:
                     continue
@@ -278,6 +468,14 @@ class BranchBoundSolver:
                 if res.status != 0:
                     emit("solver.prune", where="child_infeasible")
                     continue
+                if pseudo is not None:
+                    width = (1.0 - frac) if child_up else frac
+                    if width > _INT_TOL:
+                        pseudo.update(
+                            frac_var,
+                            child_up,
+                            (res.fun - obj) / width,
+                        )
                 if res.fun >= incumbent_obj - _OBJ_TOL:
                     emit(
                         "solver.prune",
@@ -291,14 +489,14 @@ class BranchBoundSolver:
 
         wall = time.perf_counter() - start
         if incumbent is None:
-            status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
-            return self._finish(
-                Solution(
-                    status,
-                    nodes_explored=nodes_explored,
-                    lp_solves=lp_solves,
-                    wall_time_s=wall,
-                )
+            status = (
+                SolveStatus.TIME_LIMIT if timed_out else SolveStatus.INFEASIBLE
+            )
+            return Solution(
+                status,
+                nodes_explored=nodes_explored,
+                lp_solves=lp_solves,
+                wall_time_s=wall,
             )
 
         values = {
@@ -316,23 +514,24 @@ class BranchBoundSolver:
         )
         # Gap invariant: an exhausted search proved optimality, so the
         # gap is exactly 0.0 (never None) on OPTIMAL; a truncated
-        # search reports the true incumbent-vs-bound gap, which is a
-        # finite float whenever an incumbent exists (the root LP bound
-        # is finite).
+        # search reports the true incumbent-vs-bound gap (clamped by
+        # the emitted trajectory, which is itself a valid proven gap),
+        # a finite float whenever an incumbent exists (the root LP
+        # bound is finite).
         if status is SolveStatus.OPTIMAL:
             gap = 0.0
         else:
             gap = self._relative_gap(incumbent_obj, best_bound)
-        return self._finish(
-            Solution(
-                status,
-                objective=sign * incumbent_obj,
-                values=values,
-                nodes_explored=nodes_explored,
-                lp_solves=lp_solves,
-                wall_time_s=wall,
-                gap=gap,
-            )
+            if gap is not None and last_gap is not None:
+                gap = min(gap, last_gap)
+        return Solution(
+            status,
+            objective=sign * incumbent_obj,
+            values=values,
+            nodes_explored=nodes_explored,
+            lp_solves=lp_solves,
+            wall_time_s=wall,
+            gap=gap,
         )
 
     # ------------------------------------------------------------------
@@ -343,68 +542,64 @@ class BranchBoundSolver:
         return solution
 
     # ------------------------------------------------------------------
-    def _dive(
+    def _select_branch_var(
         self,
-        lp,
-        x0: np.ndarray,
-        root_bounds: List[Tuple[float, float]],
+        x: np.ndarray,
         int_indices: List[int],
-        feasible,
-        deadline: Optional[float] = None,
-        c: Optional[np.ndarray] = None,
-    ) -> Optional[Tuple[np.ndarray, float]]:
-        """Iteratively fix the least-fractional variable and re-solve.
+        pseudo: Optional[_PseudoCosts],
+    ) -> Optional[int]:
+        """Pick the branching variable, or None if ``x`` is integral.
 
-        Returns ``(solution, objective)`` in minimize space when the
-        dive reaches an integral feasible point, else None.  Aborts
-        when ``deadline`` (perf_counter seconds) passes.
+        Classic profile: the most fractional variable.  Fast profile:
+        reliability branching — most-fractional among variables not yet
+        observed in both directions (initializing their statistics),
+        then the best product score of up/down pseudo-costs once every
+        fractional candidate is reliable.  Each fast-profile decision
+        emits one ``solver.branching`` event.
         """
-        bounds = list(root_bounds)
-        x = x0
-        max_rounds = 60
-        for _step in range(max_rounds):
-            if deadline is not None and time.perf_counter() > deadline:
-                return None
-            fractional = [
-                idx
-                for idx in int_indices
-                if abs(x[idx] - round(x[idx])) > _INT_TOL
-            ]
-            if not fractional:
-                candidate = x.copy()
-                for idx in int_indices:
-                    candidate[idx] = round(candidate[idx])
-                if feasible(candidate):
-                    return candidate, float(c @ candidate)
-                return None
-            # Fix every already-integral variable plus the single
-            # least-fractional one, then re-solve: converges in a
-            # handful of LP rounds rather than one per variable.
-            for idx in int_indices:
-                if abs(x[idx] - round(x[idx])) <= _INT_TOL:
-                    value = float(round(x[idx]))
-                    lo, hi = bounds[idx]
-                    value = min(max(value, lo), hi)
-                    bounds[idx] = (value, value)
-            idx = min(fractional, key=lambda i: abs(x[i] - round(x[i])))
-            lo, hi = bounds[idx]
-            primary = min(max(float(round(x[idx])), lo), hi)
-            # Degenerate relaxations (e.g. min-switch-count) sit on
-            # plateaus where rounding toward zero is always infeasible;
-            # when the primary fix fails, try the other side before
-            # abandoning the dive.
-            fallback = math.ceil(x[idx]) if primary <= x[idx] else math.floor(x[idx])
-            fallback = min(max(float(fallback), lo), hi)
-            res = None
-            for value in dict.fromkeys((primary, fallback)):
-                bounds[idx] = (value, value)
-                res = lp(bounds)
-                if res.status == 0:
-                    break
-            if res is None or res.status != 0:
-                return None
-            x = res.x
-        return None
+        if pseudo is None:
+            return self._most_fractional(x, int_indices)
+        # Reliability rule: while any fractional variable still lacks
+        # observations in either direction, branch most-fractional
+        # among the unreliable ones — the branching itself gathers the
+        # missing statistics.  Trusting a half-empty pseudo-cost table
+        # (average-initialized) measurably degrades assignment-style
+        # models, where early observations mislead the product score.
+        unreliable_idx: Optional[int] = None
+        unreliable_dist = _INT_TOL
+        best_idx: Optional[int] = None
+        best_key: Optional[Tuple[float, float]] = None
+        for idx in int_indices:
+            frac = x[idx] - math.floor(x[idx])
+            dist = abs(x[idx] - round(x[idx]))
+            if dist <= _INT_TOL:
+                continue
+            if not pseudo.reliable(idx):
+                if dist > unreliable_dist:
+                    unreliable_dist = dist
+                    unreliable_idx = idx
+                continue
+            key = (pseudo.score(idx, frac), dist)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_idx = idx
+        if unreliable_idx is not None:
+            emit(
+                "solver.branching",
+                rule="most_fractional",
+                var=unreliable_idx,
+                frac=unreliable_dist,
+            )
+            return unreliable_idx
+        if best_idx is not None:
+            emit(
+                "solver.branching",
+                rule="pseudo_cost",
+                var=best_idx,
+                frac=abs(x[best_idx] - round(x[best_idx])),
+                score=best_key[0],
+            )
+        return best_idx
 
     @staticmethod
     def _most_fractional(
@@ -421,25 +616,25 @@ class BranchBoundSolver:
         return best_idx
 
     @staticmethod
-    def _round_candidate(
-        feasible, x: np.ndarray, int_indices: List[int]
-    ) -> Optional[np.ndarray]:
-        """Round integral vars of an LP point; keep it only if feasible."""
-        candidate = x.copy()
-        for idx in int_indices:
-            candidate[idx] = round(candidate[idx])
-        if feasible(candidate):
-            return candidate
-        return None
-
-    @staticmethod
     def _relative_gap(incumbent: float, bound: float) -> Optional[float]:
+        """Relative incumbent-vs-bound gap in minimize space.
+
+        The bound is a valid lower bound, so the numerator clamps at
+        zero — a bound that numerically overshoots the incumbent proves
+        a zero gap, not a negative one.
+        """
         if math.isinf(bound):
             return None
         denom = max(abs(incumbent), 1e-9)
-        return abs(incumbent - bound) / denom
+        return max(incumbent - bound, 0.0) / denom
 
 
-def solve(model: Model, time_limit_s: float = 300.0) -> Solution:
+def solve(
+    model: Model,
+    time_limit_s: float = 300.0,
+    profile: str = DEFAULT_PROFILE,
+) -> Solution:
     """Convenience wrapper: solve ``model`` with default settings."""
-    return BranchBoundSolver(time_limit_s=time_limit_s).solve(model)
+    return BranchBoundSolver(
+        time_limit_s=time_limit_s, profile=profile
+    ).solve(model)

@@ -1,0 +1,111 @@
+"""Shared machinery for the solver's differential test suites.
+
+Two pieces:
+
+* :func:`enumerate_oracle` — the trusted reference: exhaustive
+  enumeration of every integral assignment of a small pure-integer
+  model.  It shares no code with the branch & bound solver (it never
+  solves an LP), so agreement between the two is genuine evidence.
+* :func:`random_milp` — a seeded generator of small pure-integer
+  models (<= 8 variables, bounded domains) spanning minimize and
+  maximize senses, <=/>=/== constraints, negative bounds and a
+  deliberate mix of feasible and infeasible instances.
+
+Both the differential tests and the Hypothesis presolve properties
+import from here, so the oracle and the instance distribution are
+pinned in exactly one place.
+"""
+
+import itertools
+import math
+import random
+from typing import Optional
+
+import numpy as np
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+
+#: Cap on the enumeration grid; the generator shrinks domains to stay
+#: under it so the oracle stays sub-second per instance.
+MAX_GRID = 6000
+
+_FEAS_TOL = 1e-9
+
+
+def enumerate_oracle(model: Model) -> Optional[float]:
+    """Optimal objective of a small pure-integer model, by brute force.
+
+    Returns the optimum in the model's own sense (un-negated for
+    maximization), or ``None`` when no integral assignment is feasible.
+    Requires every variable to be integral with finite bounds.
+    """
+    c, a_ub, b_ub, a_eq, b_eq, bounds = model.to_arrays()
+    for var, (lo, hi) in zip(model.variables, bounds):
+        if not var.is_integral or math.isinf(lo) or math.isinf(hi):
+            raise ValueError(
+                f"oracle needs bounded integer vars, got {var.name!r}"
+            )
+    ranges = [
+        range(math.ceil(lo), math.floor(hi) + 1) for lo, hi in bounds
+    ]
+    best = None  # in minimize space (to_arrays negates maximization)
+    for combo in itertools.product(*ranges):
+        x = np.asarray(combo, dtype=float)
+        if a_ub is not None and (a_ub @ x > b_ub + _FEAS_TOL).any():
+            continue
+        if a_eq is not None and (np.abs(a_eq @ x - b_eq) > _FEAS_TOL).any():
+            continue
+        value = float(c @ x)
+        if best is None or value < best:
+            best = value
+    if best is None:
+        return None
+    return -best if model.maximize_objective else best
+
+
+def random_milp(seed: int) -> Model:
+    """A seeded random pure-integer model the oracle can enumerate."""
+    rng = random.Random(seed)
+    model = Model(f"rand{seed}")
+    n = rng.randint(2, 8)
+    grid = 1
+    xs = []
+    domains = []
+    for i in range(n):
+        if rng.random() < 0.5 or grid * 4 > MAX_GRID:
+            lo, hi = 0, 1
+            xs.append(model.add_binary(f"b{i}"))
+        else:
+            lo = rng.randint(-2, 1)
+            hi = lo + rng.randint(1, 3)
+            xs.append(model.add_integer(f"z{i}", lo, hi))
+        domains.append((lo, hi))
+        grid *= hi - lo + 1
+
+    # Anchor each constraint's rhs near the activity of a random box
+    # point, so instances are mostly feasible but == rows (offset by
+    # -1/0/+1) still produce a steady stream of infeasible models.
+    reference = [float(rng.randint(lo, hi)) for lo, hi in domains]
+    for _ in range(rng.randint(1, min(6, n + 2))):
+        terms = sorted(rng.sample(range(n), rng.randint(1, n)))
+        coefs = {
+            i: rng.choice([-5, -4, -3, -2, -1, 1, 2, 3, 4, 5])
+            for i in terms
+        }
+        expr = LinExpr.total(coefs[i] * xs[i] for i in terms)
+        activity = sum(coefs[i] * reference[i] for i in terms)
+        sense = rng.choice(("<=", ">=", "=="))
+        if sense == "<=":
+            model.add_constr(expr <= activity + rng.randint(0, 4))
+        elif sense == ">=":
+            model.add_constr(expr >= activity - rng.randint(0, 4))
+        else:
+            model.add_constr(expr == activity + rng.randint(-1, 1))
+
+    objective = LinExpr.total(rng.randint(-9, 9) * x for x in xs)
+    if rng.random() < 0.5:
+        model.minimize(objective)
+    else:
+        model.maximize(objective)
+    return model

@@ -1,0 +1,196 @@
+"""Unit tests for the presolve pass: each reduction in isolation.
+
+The differential suite (``test_differential.py``) checks presolve
+end-to-end through the solver; these tests pin each individual
+transformation — bound rounding, singleton rows, activity arguments,
+substitution, the objective offset — plus the telemetry event and the
+guarantee that the input model is never mutated.
+"""
+
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.presolve import PresolveStatus, presolve
+from repro.telemetry import Recorder, attached
+
+
+class TestIntegerBoundRounding:
+    def test_fractional_bounds_snap_inward(self):
+        m = Model()
+        x = m.add_integer("x", 0.3, 2.7)
+        m.add_constr(x + x >= 0)  # keep x out of the singleton path
+        m.minimize(x)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.REDUCED
+        rx = pres.var_map[x]
+        assert (rx.lb, rx.ub) == (1.0, 2.0)
+
+    def test_rounding_can_prove_infeasibility(self):
+        m = Model()
+        m.add_integer("x", 0.2, 0.8)  # no integer in [0.2, 0.8]
+        m.minimize(LinExpr() + 0.0)
+        assert presolve(m).status == PresolveStatus.INFEASIBLE
+
+
+class TestSingletonRows:
+    def test_singleton_le_becomes_upper_bound(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constr(2 * x <= 7)
+        m.add_constr(x + y >= 1)
+        m.minimize(x + y)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.REDUCED
+        assert pres.var_map[x].ub == 3.0  # floor(7/2)
+        assert pres.stats.removed_constraints >= 1
+
+    def test_singleton_ge_becomes_lower_bound(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constr(3 * x >= 7)
+        m.add_constr(x + y <= 12)
+        m.minimize(x + y)
+        pres = presolve(m)
+        assert pres.var_map[x].lb == 3.0  # ceil(7/3)
+
+    def test_singleton_eq_fixes_the_variable(self):
+        m = Model()
+        x = m.add_integer("x", 0, 10)
+        y = m.add_integer("y", 0, 10)
+        m.add_constr(x == 4)
+        m.add_constr(x + y <= 9)
+        m.minimize(y)
+        pres = presolve(m)
+        assert pres.fixed == {x: 4.0}
+        # Substitution folds the fixed value into the remaining row:
+        # x + y <= 9 becomes y <= 5, a singleton, hence a bound.
+        assert pres.var_map[y].ub == 5.0
+
+
+class TestActivityArguments:
+    def test_redundant_row_is_removed(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constr(x + y <= 10)  # max activity 2: never binds
+        m.add_constr(x + 2 * y >= 1)
+        m.minimize(x + y)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.REDUCED
+        assert pres.stats.removed_constraints >= 1
+        assert pres.model.num_constraints == 1
+
+    def test_unreachable_row_proves_infeasibility(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constr(x + y >= 5)  # max activity 2
+        m.minimize(x + y)
+        assert presolve(m).status == PresolveStatus.INFEASIBLE
+
+    def test_implied_bounds_tighten_integers(self):
+        m = Model()
+        x = m.add_integer("x", 0, 100)
+        y = m.add_integer("y", 0, 100)
+        m.add_constr(2 * x + 3 * y <= 12)
+        m.minimize(-x - y)
+        pres = presolve(m)
+        assert pres.var_map[x].ub == 6.0  # floor(12/2)
+        assert pres.var_map[y].ub == 4.0  # floor(12/3)
+        assert pres.stats.tightened_bounds >= 2
+
+
+class TestFixedSubstitution:
+    def test_solved_model_reports_offset(self):
+        m = Model()
+        x = m.add_integer("x", 3, 3)
+        y = m.add_integer("y", 2, 2)
+        m.add_constr(x + y <= 5)
+        m.minimize(4 * x + 5 * y)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.SOLVED
+        assert pres.model is None
+        assert pres.fixed == {x: 3.0, y: 2.0}
+        assert pres.objective_offset == pytest.approx(22.0)
+
+    def test_offset_respects_maximization_sense(self):
+        m = Model()
+        x = m.add_integer("x", 3, 3)
+        m.maximize(4 * x)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.SOLVED
+        assert pres.objective_offset == pytest.approx(12.0)
+
+    def test_contradicting_fixed_value_is_infeasible(self):
+        m = Model()
+        x = m.add_integer("x", 2, 2)
+        m.add_constr(x <= 1)
+        m.minimize(x)
+        assert presolve(m).status == PresolveStatus.INFEASIBLE
+
+    def test_reduced_objective_carries_offset_as_constant(self):
+        m = Model()
+        x = m.add_integer("x", 3, 3)
+        y = m.add_integer("y", 0, 9)
+        m.add_constr(y + x >= 4)
+        m.minimize(2 * x + y)
+        pres = presolve(m)
+        assert pres.status == PresolveStatus.REDUCED
+        assert pres.objective_offset == pytest.approx(6.0)
+        assert pres.model.objective.constant == pytest.approx(6.0)
+
+
+class TestHygiene:
+    def test_original_model_is_never_mutated(self):
+        m = Model()
+        x = m.add_integer("x", 0.3, 2.7)
+        y = m.add_integer("y", 4, 4)
+        m.add_constr(x + y <= 6)
+        m.minimize(x + y)
+        presolve(m)
+        assert (x.lb, x.ub) == (0.3, 2.7)
+        assert (y.lb, y.ub) == (4, 4)
+        assert m.num_constraints == 1
+
+    def test_reduced_model_keeps_var_names_and_types(self):
+        m = Model()
+        x = m.add_integer("x", 0, 5)
+        w = m.add_var("w", 0.0, 1.5)
+        m.add_constr(x + w <= 4)
+        m.add_constr(x + 2 * w >= 1)
+        m.minimize(x + w)
+        pres = presolve(m)
+        assert pres.var_map[x].name == "x"
+        assert pres.var_map[x].is_integral
+        assert not pres.var_map[w].is_integral
+
+    def test_emits_one_presolve_event(self):
+        m = Model()
+        x = m.add_integer("x", 0, 5)
+        y = m.add_integer("y", 2, 2)
+        m.add_constr(x + y <= 6)
+        m.minimize(x + y)
+        rec = Recorder()
+        with attached(rec):
+            pres = presolve(m)
+        events = rec.of_kind("solver.presolve")
+        assert len(events) == 1
+        (event,) = events
+        assert event["status"] == pres.status
+        assert event["vars"] == 2
+        assert event["reduced_vars"] == pres.model.num_vars
+        assert event["fixed"] == 1
+        assert event["rounds"] == pres.stats.rounds
+
+    def test_stats_payload_shape(self):
+        m = Model()
+        x = m.add_integer("x", 0, 5)
+        m.add_constr(2 * x <= 7)
+        m.minimize(x)
+        pres = presolve(m)
+        payload = pres.stats.as_payload()
+        assert set(payload) == {"rounds", "fixed", "tightened", "removed"}
+        assert all(isinstance(v, int) for v in payload.values())

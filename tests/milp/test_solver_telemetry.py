@@ -10,7 +10,11 @@ consistently ``0.0`` (never ``None``) on OPTIMAL.
 
 import pytest
 
-from repro.milp.branch_bound import BranchBoundSolver, solve
+from repro.milp.branch_bound import (
+    SOLVER_PROFILES,
+    BranchBoundSolver,
+    solve,
+)
 from repro.milp.expr import LinExpr
 from repro.milp.model import Model
 from repro.milp.solution import Solution, SolveStatus
@@ -89,11 +93,12 @@ class TestEventCounts:
 
 
 class TestGapTrajectory:
+    @pytest.mark.parametrize("profile", SOLVER_PROFILES)
     @pytest.mark.parametrize(
         "model", [knapsack(), covering()], ids=["knapsack", "covering"]
     )
-    def test_gap_monotone_non_increasing(self, model):
-        _, rec = solve_recorded(model)
+    def test_gap_monotone_non_increasing(self, model, profile):
+        _, rec = solve_recorded(model, profile=profile)
         gaps = [
             e["gap"]
             for e in rec.of_kind("solver.incumbent")
@@ -104,6 +109,109 @@ class TestGapTrajectory:
             for earlier, later in zip(gaps, gaps[1:])
         )
         assert all(g >= -1e-9 for g in gaps)
+
+    @pytest.mark.parametrize("profile", SOLVER_PROFILES)
+    def test_gap_monotone_with_near_zero_incumbent(self, profile):
+        # The regression this pins: an incumbent objective approaching
+        # zero shrinks the relative-gap denominator, which used to
+        # bounce the reported gap *upward* between incumbents even
+        # though the proven gap only shrinks.  Minimizing onto a
+        # near-zero optimum exercises exactly that denominator path.
+        m = Model()
+        xs = [m.add_integer(f"x{i}", -2, 2) for i in range(5)]
+        m.add_constr(LinExpr.total(xs) >= 0)
+        for i in range(4):
+            m.add_constr(2 * xs[i] + 3 * xs[i + 1] >= 1)
+        m.minimize(LinExpr.total(xs))
+        _, rec = solve_recorded(m, profile=profile)
+        gaps = [
+            e["gap"]
+            for e in rec.of_kind("solver.incumbent")
+            if e["gap"] is not None
+        ]
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(gaps, gaps[1:])
+        )
+        assert all(g >= -1e-9 for g in gaps)
+
+
+class TestProfileTelemetry:
+    """The fast profile's extra event stream, and classic's absence of it."""
+
+    @pytest.mark.parametrize(
+        "model", [knapsack(), covering()], ids=["knapsack", "covering"]
+    )
+    def test_fast_emits_presolve_and_branching(self, model):
+        solution, rec = solve_recorded(model, profile="fast")
+        assert rec.count("solver.presolve") == 1
+        assert rec.count("solver.branching") >= 1
+        assert rec.count("solver.heuristic") >= 1
+        # The optimization layer must not break the count contract.
+        assert rec.count("solver.lp") == solution.lp_solves
+        assert rec.count("solver.node") == solution.nodes_explored
+
+    @pytest.mark.parametrize(
+        "model", [knapsack(), covering()], ids=["knapsack", "covering"]
+    )
+    def test_classic_stream_is_unchanged(self, model):
+        _, rec = solve_recorded(model, profile="classic")
+        assert rec.count("solver.presolve") == 0
+        assert rec.count("solver.branching") == 0
+        assert rec.count("solver.heuristic") == 0
+        for event in rec.of_kind("solver.incumbent"):
+            assert event["source"] != "heuristic"
+
+    @pytest.mark.parametrize(
+        "model", [knapsack(), covering()], ids=["knapsack", "covering"]
+    )
+    def test_fast_heuristic_incumbents_carry_source(self, model):
+        _, rec = solve_recorded(model, profile="fast")
+        heuristic_incumbents = [
+            e
+            for e in rec.of_kind("solver.incumbent")
+            if e["source"] == "heuristic"
+        ]
+        assert heuristic_incumbents, (
+            "these models seed their incumbent heuristically"
+        )
+        for event in heuristic_incumbents:
+            assert event["heuristic"] in ("diving", "rounding")
+        # Classic's heuristic sources never leak into the fast stream.
+        sources = {e["source"] for e in rec.of_kind("solver.incumbent")}
+        assert sources.isdisjoint({"root_dive", "dive", "rounding"})
+
+    def test_heuristic_events_report_objective_on_success(self):
+        _, rec = solve_recorded(covering(), profile="fast")
+        for event in rec.of_kind("solver.heuristic"):
+            assert event["heuristic"] in ("diving", "rounding")
+            if event["success"]:
+                assert isinstance(event["objective"], float)
+            else:
+                assert event["objective"] is None
+
+    def test_branching_events_name_their_rule(self):
+        _, rec = solve_recorded(covering(), profile="fast")
+        rules = [e["rule"] for e in rec.of_kind("solver.branching")]
+        assert set(rules) <= {"most_fractional", "pseudo_cost"}
+        # The first decision has no pseudo-cost observations yet; once
+        # branching data accumulates the learned rule takes over.
+        assert rules[0] == "most_fractional"
+        assert "pseudo_cost" in rules
+
+    def test_presolve_solved_model_emits_incumbent(self):
+        m = Model()
+        x = m.add_integer("x", 2, 2)
+        y = m.add_integer("y", 3, 3)
+        m.add_constr(x + y <= 5)
+        m.minimize(x + y)
+        solution, rec = solve_recorded(m, profile="fast")
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(5.0)
+        assert solution.lp_solves == 0
+        (incumbent,) = rec.of_kind("solver.incumbent")
+        assert incumbent["source"] == "presolve"
+        assert incumbent["gap"] == 0.0
 
 
 class TestGapInvariant:
