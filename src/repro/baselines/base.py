@@ -25,6 +25,7 @@ from repro.core.deployment import (
     DeploymentPlan,
     MatPlacement,
 )
+from repro.core.stages import earliest_window
 from repro.dataplane.program import Program
 from repro.network.paths import Path, PathEnumerator
 from repro.network.topology import Network
@@ -193,7 +194,7 @@ def schedule_on_chain(
             local_earliest = max(1, earliest_virtual - base_idx)
             if local_earliest > switch.num_stages:
                 continue
-            window = _earliest_window(
+            window = earliest_window(
                 free[switch_name],
                 mat.resource_demand,
                 local_earliest,
@@ -219,29 +220,16 @@ def schedule_on_chain(
     return placements
 
 
-def _earliest_window(
-    free: List[float],
-    demand: float,
-    earliest: int,
-    num_stages: int,
-    tol: float = 1e-9,
-) -> Optional[Tuple[int, int]]:
-    """Earliest-finishing window on one switch (same rule as stages.py)."""
-    for end in range(earliest, num_stages + 1):
-        for size in range(1, end - earliest + 2):
-            start = end - size + 1
-            if start < earliest:
-                continue
-            share = demand / size
-            if all(free[s - 1] + tol >= share for s in range(start, end + 1)):
-                return start, end
-    return None
-
-
 def route_all_pairs(
     plan: DeploymentPlan, paths: PathEnumerator
 ) -> DeploymentPlan:
-    """Attach shortest-path routing for every communicating pair."""
+    """A plan with shortest-path routing for every communicating pair.
+
+    The input plan is left untouched (it used to be mutated in place,
+    which aliased routing state between callers); the returned plan
+    shares placements — and their already-computed metric caches — with
+    the input.
+    """
     routing: Dict[Tuple[str, str], Path] = {}
     for pair in plan.pair_metadata_bytes():
         path = paths.shortest(*pair)
@@ -250,5 +238,4 @@ def route_all_pairs(
                 f"no path between communicating switches {pair}"
             )
         routing[pair] = path
-    plan.routing = routing
-    return plan
+    return plan.with_routing(routing)

@@ -64,7 +64,6 @@ class Ffl(DeploymentFramework):
             segment = tdg.subgraph(node_names, name=program.name)
             order.extend(self.level_order(segment))
         placements = schedule_on_chain(tdg, order, network, chain)
-        plan = DeploymentPlan(tdg, network, placements)
-        route_all_pairs(plan, paths)
+        plan = route_all_pairs(DeploymentPlan(tdg, network, placements), paths)
         plan.validate()
         return plan, False

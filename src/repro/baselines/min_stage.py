@@ -162,7 +162,6 @@ class MinStage(DeploymentFramework):
             timed_out = timed_out or program_timeout
             order.extend(program_order)
         placements = schedule_on_chain(tdg, order, network, chain)
-        plan = DeploymentPlan(tdg, network, placements)
-        route_all_pairs(plan, paths)
+        plan = route_all_pairs(DeploymentPlan(tdg, network, placements), paths)
         plan.validate()
         return plan, timed_out

@@ -91,7 +91,6 @@ class Speed(DeploymentFramework):
         # edges the switch boundaries cut.
         order = tdg.topological_order(strategy="kahn")
         placements = schedule_on_chain(tdg, order, network, chain)
-        plan = DeploymentPlan(tdg, network, placements)
-        route_all_pairs(plan, paths)
+        plan = route_all_pairs(DeploymentPlan(tdg, network, placements), paths)
         plan.validate()
         return plan

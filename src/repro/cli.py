@@ -124,7 +124,79 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
 
         configs = Backend().compile(plan)
         print(json.dumps({k: v.to_dict() for k, v in configs.items()}, indent=2))
+    if args.out:
+        from repro.plan import write_plan
+
+        write_plan(plan, args.out)
+        print(
+            f"wrote plan to {args.out} "
+            f"(fingerprint {plan.fingerprint()[:12]})"
+        )
     return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """The ``plan export|validate|diff`` artifact subcommands."""
+    from repro.plan import (
+        DeploymentError,
+        PlanSchemaError,
+        diff_plans,
+        read_plan,
+        write_plan,
+    )
+
+    if args.plan_command == "export":
+        from repro.core import Hermes
+
+        programs = parse_workload(args.workload)
+        network = parse_topology(args.topology)
+        hermes = Hermes(mode=args.mode, time_limit_s=args.time_limit)
+        plan = hermes.deploy(programs, network).plan
+        write_plan(plan, args.out)
+        print(
+            f"wrote plan ({len(plan.placements)} MATs, "
+            f"A_max={plan.max_metadata_bytes()} B) to {args.out} "
+            f"(fingerprint {plan.fingerprint()[:12]})"
+        )
+        return 0
+
+    if args.plan_command == "validate":
+        try:
+            plan = read_plan(args.plan)
+        except (PlanSchemaError, OSError) as exc:
+            print(f"cannot load plan: {exc}")
+            return 1
+        try:
+            plan.validate()
+        except DeploymentError as exc:
+            print(f"INVALID: {exc}")
+            return 1
+        print(
+            f"valid: {len(plan.placements)} MATs on "
+            f"{plan.num_occupied_switches()} switches, "
+            f"A_max={plan.max_metadata_bytes()} B, "
+            f"t_e2e={plan.end_to_end_latency_us():.1f} us"
+        )
+        return 0
+
+    if args.plan_command == "diff":
+        import json
+
+        try:
+            old = read_plan(args.old)
+            new = read_plan(args.new)
+        except (PlanSchemaError, OSError) as exc:
+            print(f"cannot load plan: {exc}")
+            return 2
+        diff = diff_plans(old, new)
+        print(diff.summary())
+        if args.json_output:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        if args.exit_code:
+            return 0 if diff.is_empty else 1
+        return 0
+
+    raise AssertionError(args.plan_command)  # pragma: no cover
 
 
 def _make_runner(args: argparse.Namespace):
@@ -349,6 +421,50 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--explain", action="store_true")
     d.add_argument("--verify", action="store_true")
     d.add_argument("--configs", action="store_true")
+    d.add_argument(
+        "--out",
+        default=None,
+        help="write the canonical plan JSON document to this path",
+    )
+
+    pl = sub.add_parser(
+        "plan", help="export, validate or diff plan artifacts"
+    )
+    plan_sub = pl.add_subparsers(dest="plan_command", required=True)
+
+    pe = plan_sub.add_parser(
+        "export", help="deploy a workload and write the plan document"
+    )
+    pe.add_argument("--workload", default="real:10")
+    pe.add_argument("--topology", default="linear:3")
+    pe.add_argument(
+        "--mode", choices=("heuristic", "optimal"), default="heuristic"
+    )
+    pe.add_argument("--time-limit", type=float, default=30.0)
+    pe.add_argument("--out", required=True, help="output plan JSON path")
+
+    pv = plan_sub.add_parser(
+        "validate",
+        help="check a plan document against every paper constraint",
+    )
+    pv.add_argument("plan", help="plan JSON path")
+
+    pd = plan_sub.add_parser(
+        "diff", help="structural comparison of two plan documents"
+    )
+    pd.add_argument("old", help="old plan JSON path")
+    pd.add_argument("new", help="new plan JSON path")
+    pd.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print the full diff document as JSON",
+    )
+    pd.add_argument(
+        "--exit-code",
+        action="store_true",
+        help="exit 1 when the plans differ (0 when identical)",
+    )
     return parser
 
 
@@ -356,6 +472,8 @@ def main(argv: Sequence[str] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "deploy":
         return _cmd_deploy(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     return _cmd_experiment(args)
 
 

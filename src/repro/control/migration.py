@@ -25,6 +25,7 @@ from repro.core.deployment import DeploymentError, DeploymentPlan
 from repro.core.heuristic import GreedyHeuristic
 from repro.dataplane.rules import Rule
 from repro.network.topology import Network
+from repro.plan.diff import PlanDiff, diff_plans
 
 
 @dataclass(frozen=True)
@@ -45,16 +46,26 @@ class MigrationDiff:
         moves: MATs that change switches (including those whose old
             host failed).
         unchanged: MATs that stay put.
-        old_overhead_bytes: ``A_max`` before the event.
-        new_overhead_bytes: ``A_max`` after re-deployment.
         new_plan: The re-deployed plan on the surviving network.
+        plan_diff: The full structural delta between the plans —
+            placement changes, per-pair byte deltas, reroutes and the
+            overhead totals (see :class:`repro.plan.diff.PlanDiff`).
     """
 
     moves: List[MatMove] = field(default_factory=list)
     unchanged: List[str] = field(default_factory=list)
-    old_overhead_bytes: int = 0
-    new_overhead_bytes: int = 0
     new_plan: Optional[DeploymentPlan] = None
+    plan_diff: Optional[PlanDiff] = None
+
+    @property
+    def old_overhead_bytes(self) -> int:
+        """``A_max`` before the event."""
+        return self.plan_diff.old_overhead_bytes if self.plan_diff else 0
+
+    @property
+    def new_overhead_bytes(self) -> int:
+        """``A_max`` after re-deployment."""
+        return self.plan_diff.new_overhead_bytes if self.plan_diff else 0
 
     @property
     def disruption(self) -> float:
@@ -150,9 +161,8 @@ class MigrationPlanner:
                 "plans deploy different MAT sets; cannot diff"
             )
         diff = MigrationDiff(
-            old_overhead_bytes=old_plan.max_metadata_bytes(),
-            new_overhead_bytes=new_plan.max_metadata_bytes(),
             new_plan=new_plan,
+            plan_diff=diff_plans(old_plan, new_plan),
         )
         for mat_name in old_plan.placements:
             old_switch = old_plan.switch_of(mat_name)

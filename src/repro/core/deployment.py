@@ -1,259 +1,20 @@
-"""Deployment plans: the output of the optimization framework.
+"""Compatibility shim: the plan now lives in :mod:`repro.plan`.
 
-A :class:`DeploymentPlan` captures both sets of decision variables from
-§V-A — ``x(a, i, u)`` as per-MAT :class:`MatPlacement` records (which
-switch, which stages) and ``y(u, v, p)`` as the routing map from
-ordered switch pairs to chosen paths — together with validation and the
-metrics the evaluation reports: the per-packet byte overhead ``A_max``,
-end-to-end latency ``t_e2e`` and occupied switch count ``Q_occ``.
+The deployment-plan artifact grew into its own package —
+:mod:`repro.plan.artifact` holds the immutable
+:class:`~repro.plan.artifact.DeploymentPlan`,
+:mod:`repro.plan.builder` the mutable incremental
+:class:`~repro.plan.builder.PlanBuilder`, and
+:mod:`repro.plan.serialize`/:mod:`repro.plan.diff` the canonical JSON
+schema and structural diffing.  This module re-exports the historical
+names so ``from repro.core.deployment import DeploymentPlan`` keeps
+working; new code should import from :mod:`repro.plan` directly.
 """
 
-from __future__ import annotations
+from repro.plan.artifact import (
+    DeploymentError,
+    DeploymentPlan,
+    MatPlacement,
+)
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-from repro.network.paths import Path
-from repro.network.topology import Network
-from repro.tdg.graph import Tdg
-
-
-class DeploymentError(ValueError):
-    """Raised when a deployment request cannot be satisfied."""
-
-
-@dataclass(frozen=True)
-class MatPlacement:
-    """Where one MAT landed: switch ``u`` and stage numbers ``i``.
-
-    ``stages`` is the sorted tuple of (1-based) stage indices the MAT
-    occupies; a MAT whose demand exceeds one stage's capacity spans
-    several consecutive stages.
-    """
-
-    mat_name: str
-    switch: str
-    stages: Tuple[int, ...]
-
-    def __post_init__(self) -> None:
-        if not self.stages:
-            raise ValueError(f"MAT {self.mat_name!r} placed on no stages")
-        if list(self.stages) != sorted(self.stages):
-            raise ValueError(f"stages must be sorted: {self.stages}")
-        if self.stages[0] < 1:
-            raise ValueError("stage indices are 1-based")
-
-    @property
-    def first_stage(self) -> int:
-        """``rho_begin`` — the first stage running (part of) the MAT."""
-        return self.stages[0]
-
-    @property
-    def last_stage(self) -> int:
-        """``rho_end`` — the last stage running (part of) the MAT."""
-        return self.stages[-1]
-
-
-class DeploymentPlan:
-    """A complete network-wide deployment.
-
-    Args:
-        tdg: The merged, metadata-annotated TDG that was deployed.
-        network: The substrate network.
-        placements: Per-MAT placement records (every TDG node exactly
-            once).
-        routing: Chosen inter-switch paths, keyed by ordered switch
-            pair; covers every pair of switches that exchange metadata.
-    """
-
-    def __init__(
-        self,
-        tdg: Tdg,
-        network: Network,
-        placements: Dict[str, MatPlacement],
-        routing: Optional[Dict[Tuple[str, str], Path]] = None,
-    ) -> None:
-        self.tdg = tdg
-        self.network = network
-        self.placements = dict(placements)
-        self.routing = dict(routing or {})
-
-    # ------------------------------------------------------------------
-    # Accessors
-    # ------------------------------------------------------------------
-    def switch_of(self, mat_name: str) -> str:
-        """``L(a, u)``: the switch hosting a MAT."""
-        try:
-            return self.placements[mat_name].switch
-        except KeyError:
-            raise KeyError(f"MAT {mat_name!r} is not placed") from None
-
-    def mats_on(self, switch: str) -> List[str]:
-        """MAT names hosted by a switch, ordered by first stage."""
-        on = [p for p in self.placements.values() if p.switch == switch]
-        on.sort(key=lambda p: (p.first_stage, p.mat_name))
-        return [p.mat_name for p in on]
-
-    def occupied_switches(self) -> List[str]:
-        """Switches hosting at least one MAT, in first-use order."""
-        seen: List[str] = []
-        for placement in self.placements.values():
-            if placement.switch not in seen:
-                seen.append(placement.switch)
-        return seen
-
-    # ------------------------------------------------------------------
-    # Metrics (§V-B objectives, measured on the finished plan)
-    # ------------------------------------------------------------------
-    def pair_metadata_bytes(self) -> Dict[Tuple[str, str], int]:
-        """Metadata bytes exchanged per ordered switch pair.
-
-        For each TDG edge whose endpoints sit on different switches,
-        its ``A(a, b)`` is charged to the (upstream-switch,
-        downstream-switch) pair.
-        """
-        totals: Dict[Tuple[str, str], int] = {}
-        for edge in self.tdg.edges:
-            u = self.switch_of(edge.upstream)
-            v = self.switch_of(edge.downstream)
-            if u == v:
-                continue
-            key = (u, v)
-            totals[key] = totals.get(key, 0) + edge.metadata_bytes
-        return totals
-
-    def max_metadata_bytes(self) -> int:
-        """``A_max`` — the per-packet byte overhead (Obj#1, Eq. 1)."""
-        pairs = self.pair_metadata_bytes()
-        return max(pairs.values()) if pairs else 0
-
-    def total_metadata_bytes(self) -> int:
-        """Total coordination bytes across all switch pairs."""
-        return sum(self.pair_metadata_bytes().values())
-
-    def num_occupied_switches(self) -> int:
-        """``Q_occ`` (Obj#3, Eq. 3)."""
-        return len(self.occupied_switches())
-
-    def end_to_end_latency_us(self) -> float:
-        """``t_e2e`` — the sum of chosen inter-switch path latencies.
-
-        Each distinct communicating switch pair contributes its routed
-        path once (Obj#2, Eq. 2 measured on the realized routing).
-        """
-        total = 0.0
-        for pair in self.pair_metadata_bytes():
-            path = self.routing.get(pair)
-            if path is None:
-                raise DeploymentError(
-                    f"switch pair {pair} exchanges metadata but has no "
-                    "routed path"
-                )
-            total += path.latency_us
-        return total
-
-    def cross_switch_edges(self) -> List[Tuple[str, str]]:
-        """TDG edges whose endpoints landed on different switches."""
-        return [
-            (e.upstream, e.downstream)
-            for e in self.tdg.edges
-            if self.switch_of(e.upstream) != self.switch_of(e.downstream)
-        ]
-
-    def stage_utilization(self, switch: str) -> Dict[int, float]:
-        """Per-stage resource load on a switch (stage index -> demand)."""
-        load: Dict[int, float] = {}
-        for placement in self.placements.values():
-            if placement.switch != switch:
-                continue
-            mat = self.tdg.node(placement.mat_name)
-            share = mat.resource_demand / len(placement.stages)
-            for stage in placement.stages:
-                load[stage] = load.get(stage, 0.0) + share
-        return load
-
-    # ------------------------------------------------------------------
-    # Validation
-    # ------------------------------------------------------------------
-    def validate(self, tol: float = 1e-6) -> None:
-        """Check the plan against every paper constraint.
-
-        Raises:
-            DeploymentError: Describing the first violated constraint —
-                unplaced MATs, non-programmable hosts, stage-capacity
-                overflow (Eq. 9), intra-switch ordering (Eq. 8), or
-                missing inter-switch routing (Eq. 7).
-        """
-        self._check_coverage()
-        self._check_hosts()
-        self._check_stage_capacity(tol)
-        self._check_intra_switch_order()
-        self._check_routing()
-
-    def _check_coverage(self) -> None:
-        placed = set(self.placements)
-        nodes = set(self.tdg.node_names)
-        missing = nodes - placed
-        if missing:
-            raise DeploymentError(f"unplaced MATs: {sorted(missing)}")
-        extra = placed - nodes
-        if extra:
-            raise DeploymentError(f"placements for unknown MATs: {sorted(extra)}")
-
-    def _check_hosts(self) -> None:
-        for placement in self.placements.values():
-            switch = self.network.switch(placement.switch)
-            if not switch.programmable:
-                raise DeploymentError(
-                    f"MAT {placement.mat_name!r} placed on non-programmable "
-                    f"switch {switch.name!r}"
-                )
-            if placement.last_stage > switch.num_stages:
-                raise DeploymentError(
-                    f"MAT {placement.mat_name!r} uses stage "
-                    f"{placement.last_stage} but switch {switch.name!r} "
-                    f"has only {switch.num_stages}"
-                )
-
-    def _check_stage_capacity(self, tol: float) -> None:
-        for switch_name in self.occupied_switches():
-            capacity = self.network.switch(switch_name).stage_capacity
-            for stage, load in self.stage_utilization(switch_name).items():
-                if load > capacity + tol:
-                    raise DeploymentError(
-                        f"stage {stage} of switch {switch_name!r} "
-                        f"overloaded: {load:.3f} > {capacity:.3f}"
-                    )
-
-    def _check_intra_switch_order(self) -> None:
-        for edge in self.tdg.edges:
-            up = self.placements[edge.upstream]
-            down = self.placements[edge.downstream]
-            if up.switch != down.switch:
-                continue
-            if up.last_stage >= down.first_stage:
-                raise DeploymentError(
-                    f"dependency {edge.upstream!r} -> {edge.downstream!r} "
-                    f"violated on switch {up.switch!r}: rho_end="
-                    f"{up.last_stage} >= rho_begin={down.first_stage}"
-                )
-
-    def _check_routing(self) -> None:
-        for (u, v), _bytes in self.pair_metadata_bytes().items():
-            path = self.routing.get((u, v))
-            if path is None:
-                raise DeploymentError(
-                    f"no routed path for communicating pair ({u!r}, {v!r})"
-                )
-            if path.source != u or path.destination != v:
-                raise DeploymentError(
-                    f"routed path for ({u!r}, {v!r}) runs "
-                    f"{path.source!r} -> {path.destination!r}"
-                )
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"DeploymentPlan({len(self.placements)} MATs on "
-            f"{self.num_occupied_switches()} switches, "
-            f"A_max={self.max_metadata_bytes()}B)"
-        )
+__all__ = ["DeploymentError", "DeploymentPlan", "MatPlacement"]

@@ -505,7 +505,7 @@ class MilpFormulation:
                     f"no path between communicating switches {pair}"
                 )
             routing[pair] = chosen
-        plan.routing = routing
+        plan = plan.with_routing(routing)
         plan.validate()
         return plan
 

@@ -224,6 +224,6 @@ class StagewiseMilp:
             if path is None:
                 raise DeploymentError(f"no path for pair {pair}")
             routing[pair] = path
-        plan.routing = routing
+        plan = plan.with_routing(routing)
         plan.validate()
         return plan

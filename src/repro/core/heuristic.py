@@ -24,9 +24,10 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.deployment import DeploymentError, DeploymentPlan, MatPlacement
+from repro.core.deployment import DeploymentError, DeploymentPlan
 from repro.core.stages import StageAssignmentError, assign_stages, segment_fits
-from repro.network.paths import Path, PathEnumerator
+from repro.network.paths import PathEnumerator
+from repro.plan.builder import PlanBuilder
 from repro.network.switch import Switch
 from repro.network.topology import Network
 from repro.tdg.graph import Tdg
@@ -427,8 +428,9 @@ class GreedyHeuristic:
                 continue
             try:
                 placements = schedule_on_chain(tdg, order, network, chain)
-                plan = DeploymentPlan(tdg, network, placements)
-                route_all_pairs(plan, paths)
+                plan = route_all_pairs(
+                    DeploymentPlan(tdg, network, placements), paths
+                )
                 plan.validate()
                 return plan
             except (StageAssignmentError, DeploymentError):
@@ -473,24 +475,15 @@ class GreedyHeuristic:
         segments: Sequence[Tdg],
         candidates: Sequence[str],
     ) -> DeploymentPlan:
-        placements: Dict[str, MatPlacement] = {}
-        hosts: List[str] = []
+        builder = PlanBuilder(tdg, network)
         for segment, host in zip(segments, candidates):
-            placements.update(assign_stages(segment, network.switch(host)))
-            hosts.append(host)
-
-        plan = DeploymentPlan(tdg, network, placements)
-        routing: Dict[Tuple[str, str], Path] = {}
+            layout = assign_stages(segment, network.switch(host))
+            for placement in layout.values():
+                builder.place(
+                    placement.mat_name, placement.switch, placement.stages
+                )
         # Consecutive chain hops (Algorithm 2 lines 26-29) plus any
         # skip-level pairs created by edges spanning non-adjacent
         # segments: every communicating pair gets its shortest path.
-        for pair in plan.pair_metadata_bytes():
-            path = paths.shortest(*pair)
-            if path is None:
-                raise DeploymentError(
-                    f"no path between communicating switches {pair}"
-                )
-            routing[pair] = path
-        plan.routing = routing
-        plan.validate()
-        return plan
+        builder.route_shortest(paths)
+        return builder.build()

@@ -15,15 +15,28 @@ repeat up to ``max_moves`` times:
 Every accepted move lowers ``A_max`` by at least one byte, so the
 search terminates; each trial costs two stage layouts plus one pair
 scan.
+
+``A_max`` depends only on the MAT -> switch host map — never on stage
+layouts or routing — so candidate moves are screened through a
+:class:`~repro.plan.builder.PlanBuilder` *probe* first: apply the move
+incrementally (O(degree)), read the candidate ``A_max``, undo.  Only
+moves the probe proves improving pay for the full rebuild (stage
+layouts, routing, validation, dataflow verification).  The filter is
+exact — a probe-rejected candidate is precisely one the legacy search
+would have rejected after rebuilding — so the accepted-move sequence,
+and therefore the refined plan, is identical to the historical
+implementation; only the wall-clock drops (see
+``benchmarks/test_bench_plan.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.deployment import DeploymentError, DeploymentPlan
 from repro.core.stages import StageAssignmentError, assign_stages
-from repro.network.paths import Path, PathEnumerator
+from repro.network.paths import PathEnumerator
+from repro.plan.builder import PlanBuilder
 
 
 def _rebuild(
@@ -32,29 +45,24 @@ def _rebuild(
     paths: PathEnumerator,
 ) -> Optional[DeploymentPlan]:
     """A full plan from a MAT->switch mapping, or None if infeasible."""
-    placements = {}
+    builder = PlanBuilder(plan.tdg, plan.network)
     by_switch: Dict[str, List[str]] = {}
     for mat_name, switch in hosts.items():
         by_switch.setdefault(switch, []).append(mat_name)
     try:
         for switch, names in by_switch.items():
             segment = plan.tdg.subgraph(names, name=f"ref_{switch}")
-            placements.update(
-                assign_stages(segment, plan.network.switch(switch))
-            )
+            layout = assign_stages(segment, plan.network.switch(switch))
+            for placement in layout.values():
+                builder.place(
+                    placement.mat_name, placement.switch, placement.stages
+                )
     except StageAssignmentError:
         return None
-    candidate = DeploymentPlan(plan.tdg, plan.network, placements)
-    routing: Dict[Tuple[str, str], Path] = {}
-    for pair in candidate.pair_metadata_bytes():
-        path = paths.shortest(*pair)
-        if path is None:
-            return None
-        routing[pair] = path
-    candidate.routing = routing
     try:
-        candidate.validate()
-    except DeploymentError:  # pragma: no cover - belt and braces
+        builder.route_shortest(paths)
+        candidate = builder.build()
+    except DeploymentError:
         return None
     # Structural validity is not enough: a move can strand metadata
     # behind a recirculation (produced on a switch's first visit,
@@ -88,6 +96,10 @@ def refine_plan(
     """
     paths = paths or PathEnumerator(plan.network)
     current = plan
+    # Incremental A_max probe mirroring the current host map.  Stage
+    # layouts in the probe go stale across accepted moves, which is
+    # fine: the byte metrics never read them.
+    probe = PlanBuilder.from_plan(plan)
     for _round in range(max_moves):
         pairs = current.pair_metadata_bytes()
         if not pairs:
@@ -118,6 +130,11 @@ def refine_plan(
                 (edge.downstream, u),
             ):
                 trials += 1
+                token = probe.move(mat_name, target)
+                candidate_amax = probe.max_metadata_bytes()
+                probe.undo(token)
+                if candidate_amax >= best_amax:
+                    continue
                 trial_hosts = dict(hosts)
                 trial_hosts[mat_name] = target
                 candidate = _rebuild(current, trial_hosts, paths)
@@ -126,6 +143,7 @@ def refine_plan(
                     and candidate.max_metadata_bytes() < best_amax
                 ):
                     current = candidate
+                    probe.move(mat_name, target)
                     improved = True
                     break
         if not improved:

@@ -27,7 +27,7 @@ class StageAssignmentError(ValueError):
     """The MATs cannot be laid out on the switch's pipeline."""
 
 
-def _find_window(
+def earliest_window(
     free: List[float],
     demand: float,
     earliest: int,
@@ -40,6 +40,11 @@ def _find_window(
     has at least ``demand / window_size`` free capacity, preferring the
     smallest end stage (keeps dependency chains short), then the fewest
     stages.  ``free`` is 0-indexed remaining capacity per stage.
+
+    Shared by the intra-switch layout below and the virtual-pipeline
+    chain scheduler in :mod:`repro.baselines.base` — both must pick
+    windows by the same rule so a segment that fits on one switch fits
+    identically when that switch appears in a chain.
     """
     for end in range(earliest, num_stages + 1):
         for size in range(1, end - earliest + 2):
@@ -98,7 +103,7 @@ def assign_stages(
                 f"{earliest - 1}, but switch {switch.name!r} has only "
                 f"{switch.num_stages} stages"
             )
-        window = _find_window(
+        window = earliest_window(
             free, mat.resource_demand, earliest, switch.num_stages
         )
         if window is None:

@@ -175,12 +175,18 @@ def run_single_deployment(
     packet_payload_bytes: int = 1024,
     with_end_to_end: bool = True,
     paths: Optional[PathEnumerator] = None,
-) -> DeploymentRecord:
+    return_plan: bool = False,
+):
     """Run one framework on one deployment problem.
 
     This is the unit of work the parallel runner fans out: everything a
     :class:`DeploymentRecord` needs, independent of every other
     (framework x problem) cell.
+
+    With ``return_plan=True`` the return value is a ``(record,
+    plan_document)`` pair, where the plan document is the canonical
+    serialization from :meth:`repro.plan.DeploymentPlan.to_dict` — what
+    the runner stores alongside the record in its result cache.
     """
     result: FrameworkResult = framework.deploy(programs, network, paths)
     fct_ratio, goodput_ratio = 1.0, 1.0
@@ -188,7 +194,7 @@ def run_single_deployment(
         fct_ratio, goodput_ratio = end_to_end_impact(
             result.overhead_bytes, packet_payload_bytes
         )
-    return DeploymentRecord(
+    record = DeploymentRecord(
         framework=framework.name,
         overhead_bytes=result.overhead_bytes,
         solve_time_s=result.solve_time_s,
@@ -197,6 +203,9 @@ def run_single_deployment(
         fct_ratio=fct_ratio,
         goodput_ratio=goodput_ratio,
     )
+    if return_plan:
+        return record, result.plan.to_dict()
+    return record
 
 
 def run_deployment_suite(

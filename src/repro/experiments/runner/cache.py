@@ -16,7 +16,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 from repro.experiments.harness import DeploymentRecord
 from repro.experiments.runner.cache_key import CACHE_KEY_VERSION
@@ -36,6 +36,18 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[DeploymentRecord]:
         """The cached record for ``key``, or None on a miss."""
+        entry = self.get_entry(key)
+        return entry[0] if entry is not None else None
+
+    def get_entry(
+        self, key: str
+    ) -> Optional[Tuple[DeploymentRecord, Optional[dict]]]:
+        """The cached ``(record, plan_document)`` pair, or None.
+
+        The plan document is the canonical ``repro.plan`` serialization
+        stored by :meth:`put` (None for entries cached without one);
+        reconstruct with :func:`repro.plan.plan_from_dict`.
+        """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
@@ -52,16 +64,23 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return record
+        return record, payload.get("plan")
 
-    def put(self, key: str, record: DeploymentRecord) -> Path:
-        """Store ``record`` under ``key`` (atomic replace)."""
+    def put(
+        self,
+        key: str,
+        record: DeploymentRecord,
+        plan: Optional[dict] = None,
+    ) -> Path:
+        """Store ``record`` (and optionally its serialized plan) under
+        ``key`` (atomic replace)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": CACHE_KEY_VERSION,
             "key": key,
             "record": dataclasses.asdict(record),
+            "plan": plan,
         }
         fd, tmp = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".json"

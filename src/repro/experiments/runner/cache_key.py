@@ -30,8 +30,10 @@ from repro.network.topology import Network
 #: Bump when the record layout or fingerprint scheme changes; old cache
 #: entries then miss instead of deserializing garbage.  v2: ILP-backed
 #: frameworks grew a ``solver_profile`` attribute, so their
-#: fingerprints changed shape.
-CACHE_KEY_VERSION = 2
+#: fingerprints changed shape.  v3: cache entries store the serialized
+#: deployment plan (``repro.plan`` canonical document) alongside the
+#: record, so v2 entries lack the plan payload.
+CACHE_KEY_VERSION = 3
 
 
 def _canon(value: Any) -> Any:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import DeploymentFramework
 from repro.dataplane.program import Program
@@ -73,12 +73,19 @@ class Cell:
 
 @dataclass
 class CellResult:
-    """Outcome of one cell: the record plus its telemetry stream."""
+    """Outcome of one cell: the record plus its telemetry stream.
+
+    ``plan`` is the canonical serialized deployment plan (see
+    :mod:`repro.plan.serialize`) the cell produced — also what the
+    result cache persists, so cache hits return it too.  Reconstruct
+    with :func:`repro.plan.plan_from_dict`.
+    """
 
     cell: Cell
     record: DeploymentRecord
     events: List[Event] = field(default_factory=list)
     cached: bool = False
+    plan: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -97,22 +104,25 @@ class RunnerConfig:
 
 def _execute_cell(
     cell: Cell, paths: Optional[PathEnumerator] = None
-) -> Tuple[DeploymentRecord, List[Event]]:
+) -> Tuple[DeploymentRecord, List[Event], dict]:
     """Run one cell, recording every telemetry event it emits."""
     recorder = Recorder()
     with attached(recorder):
-        record = run_single_deployment(
+        record, plan = run_single_deployment(
             cell.programs,
             cell.network,
             cell.framework,
             packet_payload_bytes=cell.packet_payload_bytes,
             with_end_to_end=cell.with_end_to_end,
             paths=paths,
+            return_plan=True,
         )
-    return record, recorder.events
+    return record, recorder.events, plan
 
 
-def _pool_cell_worker(cell: Cell) -> Tuple[DeploymentRecord, List[Event]]:
+def _pool_cell_worker(
+    cell: Cell,
+) -> Tuple[DeploymentRecord, List[Event], dict]:
     """Top-level (picklable) entry point for pool workers."""
     return _execute_cell(cell)
 
@@ -164,13 +174,15 @@ class ExperimentRunner:
             key = cell.key() if self.cache is not None else None
             keys[i] = key
             if key is not None:
-                hit = self.cache.get(key)
+                hit = self.cache.get_entry(key)
                 if hit is not None:
+                    hit_record, hit_plan = hit
                     results[i] = CellResult(
                         cell=cell,
-                        record=hit,
+                        record=hit_record,
                         events=[{"kind": "cache.hit", "key": key}],
                         cached=True,
+                        plan=hit_plan,
                     )
                     continue
                 if key in first_with_key:
@@ -193,13 +205,14 @@ class ExperimentRunner:
                 record=origin.record,
                 events=[{"kind": "cache.hit", "key": keys[i]}],
                 cached=True,
+                plan=origin.plan,
             )
 
         if self.cache is not None:
             for i in pending:
                 res = results[i]
                 if res is not None and keys[i] is not None:
-                    self.cache.put(keys[i], res.record)
+                    self.cache.put(keys[i], res.record, plan=res.plan)
 
         final = [res for res in results if res is not None]
         assert len(final) == len(cells)
@@ -220,8 +233,10 @@ class ExperimentRunner:
             paths = enumerators.setdefault(
                 id(cell.network), PathEnumerator(cell.network)
             )
-            record, events = _execute_cell(cell, paths)
-            results[i] = CellResult(cell=cell, record=record, events=events)
+            record, events, plan = _execute_cell(cell, paths)
+            results[i] = CellResult(
+                cell=cell, record=record, events=events, plan=plan
+            )
 
     def _run_pool(
         self,
@@ -236,9 +251,9 @@ class ExperimentRunner:
                 [cells[i] for i in pending],
                 chunksize=1,
             )
-            for i, (record, events) in zip(pending, outcomes):
+            for i, (record, events, plan) in zip(pending, outcomes):
                 results[i] = CellResult(
-                    cell=cells[i], record=record, events=events
+                    cell=cells[i], record=record, events=events, plan=plan
                 )
 
     def _journal_results(

@@ -1,0 +1,55 @@
+"""The deployment-plan artifact layer.
+
+Every framework in the repo bottoms out in a
+:class:`~repro.plan.artifact.DeploymentPlan`.  This package makes that
+plan a first-class artifact:
+
+* :mod:`repro.plan.artifact` — the immutable plan with cached metrics
+  and constraint validation;
+* :mod:`repro.plan.builder` — the mutable :class:`PlanBuilder` with
+  O(Δ) incremental metrics and apply/undo move semantics for the
+  optimizers' hot loops;
+* :mod:`repro.plan.serialize` — canonical, versioned JSON round trips
+  (``repro plan export`` / the runner's result cache);
+* :mod:`repro.plan.diff` — structural plan comparison
+  (``repro plan diff`` / migration disruption reports).
+"""
+
+from repro.plan.artifact import (
+    DeploymentError,
+    DeploymentPlan,
+    MatPlacement,
+)
+from repro.plan.builder import PlanBuilder, UndoToken
+from repro.plan.diff import PlacementChange, PlanDiff, diff_plans
+from repro.plan.serialize import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    PlanSchemaError,
+    canonical_dumps,
+    plan_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+    read_plan,
+    write_plan,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "DeploymentError",
+    "DeploymentPlan",
+    "MatPlacement",
+    "PlacementChange",
+    "PlanBuilder",
+    "PlanDiff",
+    "PlanSchemaError",
+    "UndoToken",
+    "canonical_dumps",
+    "diff_plans",
+    "plan_fingerprint",
+    "plan_from_dict",
+    "plan_to_dict",
+    "read_plan",
+    "write_plan",
+]

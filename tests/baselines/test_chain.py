@@ -94,6 +94,5 @@ class TestScheduleOnChain:
         placements = schedule_on_chain(
             tdg, tdg.topological_order(), net, chain
         )
-        plan = DeploymentPlan(tdg, net, placements)
-        route_all_pairs(plan, paths)
+        plan = route_all_pairs(DeploymentPlan(tdg, net, placements), paths)
         plan.validate()

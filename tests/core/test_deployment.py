@@ -24,14 +24,15 @@ def two_mat_tdg(meta_bytes=8):
 
 
 def plan_with(tdg, network, placements, route=True):
-    plan = DeploymentPlan(tdg, network, placements)
+    routing = None
     if route:
         paths = PathEnumerator(network)
-        plan.routing = {
+        probe = DeploymentPlan(tdg, network, placements)
+        routing = {
             pair: paths.shortest(*pair)
-            for pair in plan.pair_metadata_bytes()
+            for pair in probe.pair_metadata_bytes()
         }
-    return plan
+    return DeploymentPlan(tdg, network, placements, routing)
 
 
 class TestMatPlacement:
@@ -128,6 +129,88 @@ class TestMetrics:
         )
         util = plan.stage_utilization("s0")
         assert util == {1: pytest.approx(0.5), 2: pytest.approx(0.5)}
+
+    def test_end_to_end_latency_missing_path_raises(self):
+        # A communicating pair without a routed path must fail loudly,
+        # not silently contribute zero latency.
+        tdg = two_mat_tdg()
+        net = linear_topology(2)
+        plan = plan_with(
+            tdg,
+            net,
+            {
+                "a": MatPlacement("a", "s0", (1,)),
+                "b": MatPlacement("b", "s1", (1,)),
+            },
+            route=False,
+        )
+        with pytest.raises(DeploymentError, match="no routed path"):
+            plan.end_to_end_latency_us()
+
+    def test_stage_utilization_sums_sharing_mats(self):
+        # Two MATs sharing stage 2 add up; a spanning MAT contributes
+        # its per-stage share to each stage it touches.
+        tdg = Tdg("t")
+        tdg.add_node(Mat("a", actions=[no_op()], resource_demand=0.6))
+        tdg.add_node(Mat("b", actions=[no_op()], resource_demand=0.3))
+        tdg.add_node(Mat("c", actions=[no_op()], resource_demand=0.4))
+        net = linear_topology(1)
+        plan = plan_with(
+            tdg,
+            net,
+            {
+                "a": MatPlacement("a", "s0", (1, 2)),
+                "b": MatPlacement("b", "s0", (2,)),
+                "c": MatPlacement("c", "s0", (3,)),
+            },
+            route=False,
+        )
+        util = plan.stage_utilization("s0")
+        assert util == {
+            1: pytest.approx(0.3),
+            2: pytest.approx(0.3 + 0.3),
+            3: pytest.approx(0.4),
+        }
+        assert plan.stage_utilization("nowhere") == {}
+
+    def test_plan_is_immutable(self):
+        tdg = two_mat_tdg()
+        net = linear_topology(2)
+        plan = plan_with(
+            tdg,
+            net,
+            {
+                "a": MatPlacement("a", "s0", (1,)),
+                "b": MatPlacement("b", "s0", (2,)),
+            },
+        )
+        with pytest.raises(AttributeError, match="immutable"):
+            plan.placements = {}
+        with pytest.raises(TypeError):
+            plan.placements["a"] = MatPlacement("a", "s1", (1,))
+        with pytest.raises(TypeError):
+            plan.routing[("s0", "s1")] = None
+
+    def test_with_routing_returns_sibling(self):
+        tdg = two_mat_tdg(meta_bytes=4)
+        net = linear_topology(2)
+        plan = plan_with(
+            tdg,
+            net,
+            {
+                "a": MatPlacement("a", "s0", (1,)),
+                "b": MatPlacement("b", "s1", (1,)),
+            },
+            route=False,
+        )
+        paths = PathEnumerator(net)
+        routed = plan.with_routing(
+            {("s0", "s1"): paths.shortest("s0", "s1")}
+        )
+        assert routed is not plan
+        assert not plan.routing and routed.routing
+        assert routed.max_metadata_bytes() == plan.max_metadata_bytes()
+        routed.validate()
 
     def test_mats_on_orders_by_stage(self):
         tdg = two_mat_tdg()
@@ -233,7 +316,10 @@ class TestValidation:
             net=net,
             route=False,
         )
-        plan.routing = {("s0", "s1"): paths.shortest("s1", "s0")}
+        with pytest.warns(DeprecationWarning, match="routing"):
+            # The historical mutation pattern still works for one
+            # release, with a warning.
+            plan.routing = {("s0", "s1"): paths.shortest("s1", "s0")}
         with pytest.raises(DeploymentError, match="runs"):
             plan.validate()
 

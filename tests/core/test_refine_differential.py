@@ -1,0 +1,129 @@
+"""Differential test: probe-filtered refine == the legacy refine.
+
+``refine_plan`` screens candidate moves through an incremental
+:class:`PlanBuilder` probe before paying for a full rebuild.  The
+filter must be *exact*: the probe's ``A_max`` for a candidate host map
+equals what the rebuilt plan would report, so the accepted-move
+sequence — and therefore the final plan — is identical to the
+historical implementation that rebuilt every candidate.  This module
+keeps a faithful copy of the legacy loop and checks plan equality on
+representative workloads.
+"""
+
+import pytest
+
+from repro.core.heuristic import GreedyHeuristic
+from repro.core.refine import _rebuild, refine_plan
+from repro.network.generators import linear_topology
+from repro.network.paths import PathEnumerator
+from repro.network.topozoo import topology_zoo_wan
+from repro.plan import plan_fingerprint
+from repro.workloads.switchp4 import real_programs
+from repro.workloads.synthetic import synthetic_programs
+
+
+def legacy_refine_plan(plan, paths=None, max_moves=40, max_trials_per_move=24):
+    """The historical refine loop: full rebuild per candidate move."""
+    paths = paths or PathEnumerator(plan.network)
+    current = plan
+    for _round in range(max_moves):
+        pairs = current.pair_metadata_bytes()
+        if not pairs:
+            break
+        best_amax = max(pairs.values())
+        (u, v), _bytes = max(pairs.items(), key=lambda kv: kv[1])
+        crossing = sorted(
+            (
+                e
+                for e in current.tdg.edges
+                if current.switch_of(e.upstream) == u
+                and current.switch_of(e.downstream) == v
+            ),
+            key=lambda e: e.metadata_bytes,
+            reverse=True,
+        )
+        hosts = {
+            name: placement.switch
+            for name, placement in current.placements.items()
+        }
+        improved = False
+        trials = 0
+        for edge in crossing:
+            if trials >= max_trials_per_move or improved:
+                break
+            for mat_name, target in (
+                (edge.upstream, v),
+                (edge.downstream, u),
+            ):
+                trials += 1
+                trial_hosts = dict(hosts)
+                trial_hosts[mat_name] = target
+                candidate = _rebuild(current, trial_hosts, paths)
+                if (
+                    candidate is not None
+                    and candidate.max_metadata_bytes() < best_amax
+                ):
+                    current = candidate
+                    improved = True
+                    break
+        if not improved:
+            break
+    return current
+
+
+def unrefined_plan(programs, network):
+    from repro.core.analyzer import ProgramAnalyzer
+
+    tdg = ProgramAnalyzer().analyze(programs)
+    return GreedyHeuristic(refine=False).deploy(tdg, network)
+
+
+WORKLOADS = [
+    pytest.param(
+        lambda: (
+            real_programs(6),
+            linear_topology(4, num_stages=4, stage_capacity=1.0),
+        ),
+        id="real6-linear4",
+    ),
+    pytest.param(
+        lambda: (
+            real_programs(9),
+            linear_topology(8, num_stages=4, stage_capacity=1.0),
+        ),
+        id="real9-linear8",
+    ),
+    pytest.param(
+        lambda: (
+            synthetic_programs(8, seed=7),
+            linear_topology(8, num_stages=8, stage_capacity=1.0),
+        ),
+        id="synthetic8-linear8",
+    ),
+    pytest.param(
+        lambda: (real_programs(10), topology_zoo_wan(5)),
+        id="real10-zoo5",
+    ),
+]
+
+
+@pytest.mark.parametrize("make", WORKLOADS)
+def test_refine_matches_legacy_rebuild_search(make):
+    programs, network = make()
+    plan = unrefined_plan(programs, network)
+    paths = PathEnumerator(network)
+    legacy = legacy_refine_plan(plan, paths)
+    fast = refine_plan(plan, paths)
+    assert dict(fast.placements) == dict(legacy.placements)
+    assert set(fast.routing) == set(legacy.routing)
+    assert fast.max_metadata_bytes() == legacy.max_metadata_bytes()
+    assert plan_fingerprint(fast) == plan_fingerprint(legacy)
+
+
+def test_refine_never_worsens_amax():
+    programs = real_programs(6)
+    network = linear_topology(4, num_stages=4, stage_capacity=1.0)
+    plan = unrefined_plan(programs, network)
+    refined = refine_plan(plan)
+    assert refined.max_metadata_bytes() <= plan.max_metadata_bytes()
+    refined.validate()

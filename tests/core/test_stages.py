@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.stages import StageAssignmentError, assign_stages, segment_fits
+from repro.core.stages import (
+    StageAssignmentError,
+    assign_stages,
+    earliest_window,
+    segment_fits,
+)
 from repro.dataplane.actions import no_op
 from repro.dataplane.mat import Mat
 from repro.network.switch import Switch
@@ -88,6 +93,48 @@ class TestAssignStages:
             for stage in p.stages:
                 load[stage] = load.get(stage, 0.0) + share
         assert all(v <= switch.stage_capacity + 1e-9 for v in load.values())
+
+
+class TestEarliestWindow:
+    """The shared window-picking rule (intra-switch layout and the
+    virtual-pipeline chain scheduler must agree on it)."""
+
+    def test_fits_single_free_stage(self):
+        assert earliest_window([1.0, 1.0], 0.5, 1, 2) == (1, 1)
+
+    def test_skips_full_stages(self):
+        assert earliest_window([0.0, 1.0], 0.5, 1, 2) == (2, 2)
+
+    def test_respects_earliest_bound(self):
+        assert earliest_window([1.0, 1.0, 1.0], 0.5, 2, 3) == (2, 2)
+
+    def test_spans_stages_when_demand_exceeds_one(self):
+        # 1.5 demand over 1.0-free stages needs a 2-stage window
+        # (0.75 per stage).
+        assert earliest_window([1.0, 1.0, 1.0], 1.5, 1, 3) == (1, 2)
+
+    def test_prefers_smallest_end_stage(self):
+        # A 2-stage window ending at stage 2 beats a 1-stage window
+        # ending at stage 3: chains stay short.
+        assert earliest_window([0.5, 0.5, 1.0], 0.8, 1, 3) == (1, 2)
+
+    def test_none_when_nothing_fits(self):
+        assert earliest_window([0.1, 0.1], 1.0, 1, 2) is None
+
+    def test_none_when_earliest_past_pipeline(self):
+        assert earliest_window([1.0, 1.0], 0.5, 3, 2) is None
+
+    def test_tolerance_admits_exact_fill(self):
+        free = [0.3000000000000001]
+        assert earliest_window(free, 0.3, 1, 1) == (1, 1)
+
+    def test_shared_with_chain_scheduler(self):
+        # The baselines' virtual-pipeline scheduler must use this exact
+        # function — a drift between the two would let a segment "fit"
+        # on a lone switch but not on the same switch inside a chain.
+        from repro.baselines import base
+
+        assert base.earliest_window is earliest_window
 
 
 class TestSegmentFits:

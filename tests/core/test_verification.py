@@ -60,13 +60,17 @@ class TestVerifyDataflow:
         # Placing the reader's switch "before" the writer's is fine as
         # long as the channel exists: the packet simply visits the
         # writer's switch first.
-        plan = cross_switch_plan()
-        plan.placements = {
-            "a": MatPlacement("a", "s1", (1,)),
-            "b": MatPlacement("b", "s0", (1,)),
-        }
-        paths = PathEnumerator(plan.network)
-        plan.routing = {("s1", "s0"): paths.shortest("s1", "s0")}
+        base = cross_switch_plan()
+        paths = PathEnumerator(base.network)
+        plan = DeploymentPlan(
+            base.tdg,
+            base.network,
+            {
+                "a": MatPlacement("a", "s1", (1,)),
+                "b": MatPlacement("b", "s0", (1,)),
+            },
+            {("s1", "s0"): paths.shortest("s1", "s0")},
+        )
         report = verify_dataflow(plan)
         assert report.shipped_fields[("s1", "s0")] == ["m.x"]
 

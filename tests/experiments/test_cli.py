@@ -218,6 +218,121 @@ class TestJsonExport:
         assert {"topology", "framework", "overhead_bytes"} <= set(rows[0])
 
 
+class TestPlanCommands:
+    """The plan artifact surface: deploy --out, export/validate/diff."""
+
+    @pytest.fixture()
+    def exported(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "deploy",
+                    "--workload",
+                    "real:4",
+                    "--topology",
+                    "linear:3",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def test_deploy_out_writes_plan(self, exported, capsys):
+        from repro.plan import read_plan
+
+        plan = read_plan(str(exported))
+        plan.validate()
+        assert len(plan.placements) > 0
+
+    def test_plan_export(self, tmp_path, capsys):
+        path = tmp_path / "exported.json"
+        code = main(
+            [
+                "plan",
+                "export",
+                "--workload",
+                "real:3",
+                "--topology",
+                "linear:3",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "fingerprint" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_plan_validate_good(self, exported, capsys):
+        assert main(["plan", "validate", str(exported)]) == 0
+        out = capsys.readouterr().out
+        assert "valid:" in out and "A_max" in out
+
+    def test_plan_validate_missing_file(self, tmp_path, capsys):
+        code = main(["plan", "validate", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "cannot load plan" in capsys.readouterr().out
+
+    def test_plan_validate_broken_document(self, exported, capsys):
+        import json
+
+        doc = json.loads(exported.read_text())
+        doc["placements"] = doc["placements"][1:]  # drop one MAT
+        exported.write_text(json.dumps(doc))
+        assert main(["plan", "validate", str(exported)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_plan_diff_identical(self, exported, capsys):
+        code = main(
+            ["plan", "diff", str(exported), str(exported), "--exit-code"]
+        )
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_plan_diff_differing_plans_exit_code(
+        self, exported, tmp_path, capsys
+    ):
+        other = tmp_path / "other.json"
+        assert (
+            main(
+                [
+                    "plan",
+                    "export",
+                    "--workload",
+                    "real:5",
+                    "--topology",
+                    "linear:4",
+                    "--out",
+                    str(other),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["plan", "diff", str(exported), str(other), "--exit-code"]
+        )
+        assert code == 1
+        assert "A_max" in capsys.readouterr().out
+
+    def test_plan_diff_json_output(self, exported, capsys):
+        import json
+
+        assert main(["plan", "diff", str(exported), str(exported), "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        assert json.loads(payload)["identical"] is True
+
+    def test_plan_diff_unreadable_returns_2(self, exported, tmp_path, capsys):
+        code = main(
+            ["plan", "diff", str(exported), str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+
+
 @pytest.mark.slow
 def test_quick_report(capsys):
     assert main(["report"]) == 0

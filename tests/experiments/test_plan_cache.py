@@ -1,0 +1,101 @@
+"""Plan persistence through the runner's result cache (v3 entries).
+
+Since ``CACHE_KEY_VERSION`` 3 every cache entry stores the canonical
+serialized deployment plan next to the record, so a cache hit returns
+not just the scalar metrics but the full reconstructable artifact.
+"""
+
+from repro.baselines import Ffl, HermesHeuristic
+from repro.experiments.harness import DeploymentRecord
+from repro.experiments.runner import Cell, ExperimentRunner
+from repro.experiments.runner.cache import ResultCache
+from repro.network.generators import linear_topology
+from repro.plan import plan_from_dict
+from repro.workloads import sketch_programs
+
+
+def sample_record():
+    return DeploymentRecord(
+        framework="x",
+        overhead_bytes=8,
+        solve_time_s=0.1,
+        timed_out=False,
+        occupied_switches=1,
+    )
+
+
+def sample_cells():
+    programs = tuple(sketch_programs(3))
+    network = linear_topology(3, num_stages=4, stage_capacity=2.0)
+    return [
+        Cell(programs=programs, network=network, framework=f)
+        for f in (HermesHeuristic(), Ffl())
+    ]
+
+
+class TestResultCachePlanPayload:
+    def test_put_get_entry_round_trips_plan(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plan_doc = {"schema": "repro.plan/v1", "version": 1}
+        cache.put("ab" + "0" * 62, sample_record(), plan=plan_doc)
+        entry = cache.get_entry("ab" + "0" * 62)
+        assert entry is not None
+        record, plan = entry
+        assert record.overhead_bytes == 8
+        assert plan == plan_doc
+
+    def test_entry_without_plan_reads_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("cd" + "0" * 62, sample_record())
+        record, plan = cache.get_entry("cd" + "0" * 62)
+        assert record.overhead_bytes == 8
+        assert plan is None
+
+    def test_get_still_returns_bare_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ef" + "0" * 62, sample_record(), plan={"schema": "x"})
+        record = cache.get("ef" + "0" * 62)
+        assert isinstance(record, DeploymentRecord)
+
+
+class TestRunnerPlanThreading:
+    def test_fresh_run_populates_plan(self, tmp_path):
+        runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+        results = runner.run_cells(sample_cells())
+        for res in results:
+            assert not res.cached
+            assert res.plan is not None
+            plan = plan_from_dict(res.plan)
+            plan.validate()
+            assert plan.max_metadata_bytes() == res.record.overhead_bytes
+
+    def test_cache_hit_returns_same_plan(self, tmp_path):
+        cells = sample_cells()
+        cold = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+        first = cold.run_cells(cells)
+        warm = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+        second = warm.run_cells(sample_cells())
+        for a, b in zip(first, second):
+            assert b.cached
+            assert b.plan == a.plan
+            plan_from_dict(b.plan).validate()
+
+    def test_duplicate_cells_share_plan(self, tmp_path):
+        cells = sample_cells()
+        doubled = cells + [
+            Cell(
+                programs=cells[0].programs,
+                network=cells[0].network,
+                framework=cells[0].framework,
+            )
+        ]
+        runner = ExperimentRunner(workers=1, cache_dir=str(tmp_path))
+        results = runner.run_cells(doubled)
+        assert results[-1].cached
+        assert results[-1].plan == results[0].plan
+
+    def test_uncached_runner_still_returns_plan(self):
+        results = ExperimentRunner(workers=1).run_cells(sample_cells())
+        for res in results:
+            assert res.plan is not None
+            plan_from_dict(res.plan).validate()

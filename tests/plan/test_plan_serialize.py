@@ -1,0 +1,181 @@
+"""Round-trip and schema tests for the canonical plan serialization.
+
+The acceptance contract: for every switch.p4-like workload,
+``plan_from_dict(plan_to_dict(plan))`` reproduces the exact metrics
+(``A_max``, ``t_e2e``, ``Q_occ``), passes full validation, and hashes
+to the same fingerprint — so a plan document is a faithful, portable
+artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Hermes
+from repro.network.generators import linear_topology
+from repro.plan import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    DeploymentPlan,
+    PlanSchemaError,
+    canonical_dumps,
+    plan_fingerprint,
+    plan_from_dict,
+    plan_to_dict,
+    read_plan,
+    write_plan,
+)
+from repro.workloads.switchp4 import real_programs
+
+
+def deploy(num_programs):
+    # Tight switches force multi-switch splits, so the round trip
+    # exercises routing and non-zero metadata pairs, not just
+    # placements; the chain grows with the workload so every size
+    # stays feasible.
+    network = linear_topology(
+        max(3, num_programs), num_stages=4, stage_capacity=1.0
+    )
+    return Hermes().deploy(real_programs(num_programs), network).plan
+
+
+@pytest.fixture(scope="module")
+def sample_plan():
+    return deploy(4)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("num_programs", range(1, 11))
+    def test_real_workloads_round_trip(self, num_programs):
+        plan = deploy(num_programs)
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.max_metadata_bytes() == plan.max_metadata_bytes()
+        assert (
+            restored.end_to_end_latency_us() == plan.end_to_end_latency_us()
+        )
+        assert (
+            restored.num_occupied_switches() == plan.num_occupied_switches()
+        )
+        restored.validate()
+        assert plan_fingerprint(restored) == plan_fingerprint(plan)
+
+    def test_round_trip_preserves_placements_and_routing(self, sample_plan):
+        restored = plan_from_dict(plan_to_dict(sample_plan))
+        assert dict(restored.placements) == dict(sample_plan.placements)
+        assert set(restored.routing) == set(sample_plan.routing)
+        for pair, path in sample_plan.routing.items():
+            assert restored.routing[pair].switches == path.switches
+            assert restored.routing[pair].latency_us == path.latency_us
+
+    def test_plan_methods_defer_to_serializer(self, sample_plan):
+        assert sample_plan.to_dict() == plan_to_dict(sample_plan)
+        restored = DeploymentPlan.from_dict(sample_plan.to_dict())
+        assert sample_plan.fingerprint() == restored.fingerprint()
+
+    def test_document_is_json_serializable(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        assert doc["schema"] == SCHEMA
+        assert doc["version"] == SCHEMA_VERSION
+        json.dumps(doc)  # must not raise
+
+    def test_metrics_block_matches_plan(self, sample_plan):
+        metrics = plan_to_dict(sample_plan)["metrics"]
+        assert (
+            metrics["max_metadata_bytes"]
+            == sample_plan.max_metadata_bytes()
+        )
+        assert (
+            metrics["end_to_end_latency_us"]
+            == sample_plan.end_to_end_latency_us()
+        )
+        assert (
+            metrics["num_occupied_switches"]
+            == sample_plan.num_occupied_switches()
+        )
+
+    def test_partially_routed_plan_exports_null_latency(self, sample_plan):
+        if not sample_plan.routing:
+            pytest.skip("workload landed on one switch")
+        unrouted = DeploymentPlan(
+            sample_plan.tdg,
+            sample_plan.network,
+            sample_plan.placements,
+            {},
+        )
+        doc = plan_to_dict(unrouted)
+        assert doc["metrics"]["end_to_end_latency_us"] is None
+        # Still reloadable; validate() then reports the missing route.
+        restored = plan_from_dict(doc)
+        from repro.plan import DeploymentError
+
+        with pytest.raises(DeploymentError, match="no routed path"):
+            restored.validate()
+
+
+class TestCanonicalForm:
+    def test_canonical_dumps_is_stable(self, sample_plan):
+        a = canonical_dumps(plan_to_dict(sample_plan))
+        b = canonical_dumps(plan_to_dict(sample_plan))
+        assert a == b
+
+    def test_fingerprint_is_stable_across_round_trips(self, sample_plan):
+        restored = plan_from_dict(plan_to_dict(sample_plan))
+        twice = plan_from_dict(plan_to_dict(restored))
+        assert (
+            plan_fingerprint(sample_plan)
+            == plan_fingerprint(restored)
+            == plan_fingerprint(twice)
+        )
+
+    def test_placements_sorted_by_mat_name(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        names = [p["mat"] for p in doc["placements"]]
+        assert names == sorted(names)
+
+    def test_routing_sorted_by_pair(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        pairs = [tuple(entry["pair"]) for entry in doc["routing"]]
+        assert pairs == sorted(pairs)
+
+
+class TestSchemaGuard:
+    def test_wrong_schema_rejected(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        doc["schema"] = "somebody.else/v1"
+        with pytest.raises(PlanSchemaError, match="not a plan document"):
+            plan_from_dict(doc)
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(PlanSchemaError, match="not a plan document"):
+            plan_from_dict({"version": SCHEMA_VERSION})
+
+    def test_future_version_rejected(self, sample_plan):
+        doc = plan_to_dict(sample_plan)
+        doc["version"] = SCHEMA_VERSION + 1
+        with pytest.raises(PlanSchemaError, match="unsupported"):
+            plan_from_dict(doc)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(PlanSchemaError, match="must be an object"):
+            plan_from_dict([1, 2, 3])
+
+    def test_structurally_broken_document_rejected(self, sample_plan):
+        doc = json.loads(canonical_dumps(plan_to_dict(sample_plan)))
+        del doc["tdg"]["nodes"]
+        with pytest.raises(PlanSchemaError, match="malformed"):
+            plan_from_dict(doc)
+
+
+class TestFileIO:
+    def test_write_then_read(self, sample_plan, tmp_path):
+        path = tmp_path / "plan.json"
+        write_plan(sample_plan, str(path))
+        restored = read_plan(str(path))
+        assert plan_fingerprint(restored) == plan_fingerprint(sample_plan)
+        restored.validate()
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(PlanSchemaError, match="not valid JSON"):
+            read_plan(str(path))
