@@ -1,0 +1,186 @@
+"""Benchmark: lifecycle reconciler latency and event throughput.
+
+Times the runtime subsystem's two operational paths on seeded churn
+scenarios over the real switch.p4 workload:
+
+* **reconcile latency** — wall time per event batch through the full
+  replan -> move-computation -> rebind -> store pipeline (the cost an
+  operator pays per churn event);
+* **events/sec** — end-to-end scenario replay throughput;
+* **patch latency** — the cheapest-patch fallback alone, the degraded
+  path a replan time budget buys.
+
+Results are written to ``BENCH_runtime.json`` at the repo root so the
+reconcile-latency contract is auditable across commits (the weekly
+solver-sweep workflow uploads it as an artifact).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import parse_topology, parse_workload
+from repro.plan.artifact import DeploymentError
+from repro.runtime import (
+    EventKind,
+    Reconciler,
+    WorldState,
+    cheapest_patch,
+    generate_scenario,
+    seed_rules,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_runtime.json")
+
+#: Golden churn instances: (label, workload, topology, events, seed).
+GOLDEN = [
+    ("wan12/real6/e8", "real:6", "wan:12:18:4", 8, 11),
+    ("wan16/real10/e8", "real:10", "wan:16:24:1", 8, 1),
+    ("wan16/real10/e16", "real:10", "wan:16:24:2", 16, 2),
+]
+
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def runtime_records():
+    records = []
+    for label, workload_spec, topology_spec, num_events, seed in GOLDEN:
+        programs = parse_workload(workload_spec)
+        network = parse_topology(topology_spec)
+        scenario = generate_scenario(
+            network,
+            num_events=num_events,
+            seed=seed,
+            workload_spec=workload_spec,
+            topology_spec=topology_spec,
+        )
+        reconciler = Reconciler(programs, network, prepare_fn=seed_rules)
+        best_s = float("inf")
+        result = None
+        for _ in range(REPS):
+            start = time.perf_counter()
+            result = reconciler.run(scenario)
+            best_s = min(best_s, time.perf_counter() - start)
+        report = result.report()
+        batch_times = [
+            o.convergence_time_s for o in result.outcomes if o.converged
+        ]
+        # The patch fallback path, timed on the first failure plan.
+        initial_plan = result.store.versions[0].plan
+        patch_s = None
+        failed = next(
+            (
+                o
+                for o in result.outcomes
+                if any(e.kind == EventKind.SWITCH_FAIL for e in o.events)
+            ),
+            None,
+        )
+        if failed is not None:
+            world = WorldState(network, programs)
+            for outcome in result.outcomes:
+                for event in outcome.events:
+                    world.apply(event)
+                if outcome is failed:
+                    break
+            try:
+                start = time.perf_counter()
+                cheapest_patch(initial_plan, world.current_network())
+                patch_s = time.perf_counter() - start
+            except DeploymentError:
+                patch_s = None
+        records.append(
+            {
+                "instance": label,
+                "events": num_events,
+                "batches": report.num_batches,
+                "converged": report.num_converged,
+                "wall_s": round(best_s, 4),
+                "events_per_s": round(num_events / max(best_s, 1e-9), 1),
+                "mean_reconcile_ms": round(
+                    (sum(batch_times) / len(batch_times)) * 1e3, 2
+                )
+                if batch_times
+                else None,
+                "max_reconcile_ms": round(max(batch_times) * 1e3, 2)
+                if batch_times
+                else None,
+                "patch_ms": round(patch_s * 1e3, 2)
+                if patch_s is not None
+                else None,
+                "forced_moves": report.forced_moves,
+                "rules_replayed": report.rules_replayed,
+                "history_digest": report.history_digest[:16],
+            }
+        )
+    payload = {
+        "instances": records,
+        "summary": {
+            "instances": len(records),
+            "wall_s_total": round(
+                sum(r["wall_s"] for r in records), 4
+            ),
+            "events_total": sum(r["events"] for r in records),
+        },
+    }
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def test_bench_runtime_all_converge(runtime_records):
+    """Every golden scenario fully reconciles."""
+    for record in runtime_records["instances"]:
+        assert record["converged"] == record["batches"], (
+            record["instance"]
+        )
+
+
+def test_bench_runtime_replay_deterministic(runtime_records):
+    """Re-running a golden instance reproduces its history digest."""
+    label, workload_spec, topology_spec, num_events, seed = GOLDEN[0]
+    programs = parse_workload(workload_spec)
+    network = parse_topology(topology_spec)
+    scenario = generate_scenario(
+        network,
+        num_events=num_events,
+        seed=seed,
+        workload_spec=workload_spec,
+        topology_spec=topology_spec,
+    )
+    result = Reconciler(programs, network, prepare_fn=seed_rules).run(
+        scenario
+    )
+    recorded = next(
+        r
+        for r in runtime_records["instances"]
+        if r["instance"] == label
+    )
+    assert result.store.history_digest().startswith(
+        recorded["history_digest"]
+    )
+
+
+def test_bench_runtime_report(runtime_records):
+    from conftest import record_report
+
+    rows = [
+        f"Lifecycle reconciler on golden churn scenarios (best of {REPS})",
+        f"{'instance':<18} {'wall s':>7} {'ev/s':>7} {'mean ms':>8} "
+        f"{'max ms':>7} {'patch ms':>9} {'forced':>7}",
+    ]
+    for r in runtime_records["instances"]:
+        rows.append(
+            f"{r['instance']:<18} {r['wall_s']:>7.3f} "
+            f"{r['events_per_s']:>7.1f} "
+            f"{(r['mean_reconcile_ms'] or 0):>8.2f} "
+            f"{(r['max_reconcile_ms'] or 0):>7.2f} "
+            f"{(r['patch_ms'] or 0):>9.2f} {r['forced_moves']:>7}"
+        )
+    record_report("\n".join(rows))
+    assert os.path.exists(_REPORT_PATH)

@@ -9,8 +9,12 @@ Run any paper experiment or an ad-hoc deployment without writing code:
         --journal exp2.jsonl
     python -m repro exp5 --programs 10 30 50
     python -m repro exp6
+    python -m repro exp7 --seeds 0 1 2 --events 8
     python -m repro deploy --workload real:10 --topology zoo:3 \
         --mode heuristic --verify
+    python -m repro churn run --workload real:10 --topology wan:16:24 \
+        --seed 3 --events 8 --scenario-out churn.json
+    python -m repro churn replay churn.json
 
 Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
@@ -36,8 +40,13 @@ from repro.network.topology import Network
 from repro.network.topozoo import topology_zoo_wan
 
 
-def parse_workload(spec: str) -> List[Program]:
-    """Parse a ``+``-joined workload spec into programs."""
+def parse_workload(spec: str, seed: int = None) -> List[Program]:
+    """Parse a ``+``-joined workload spec into programs.
+
+    ``seed`` (the CLI ``--seed`` flag) overrides the default synthetic
+    generator seed; a seed written *inside* the spec
+    (``synthetic:N:SEED``) still wins over it.
+    """
     from repro.workloads import (
         real_programs,
         sketch_programs,
@@ -54,15 +63,24 @@ def parse_workload(spec: str) -> List[Program]:
             programs += sketch_programs(int(fields[1]))
         elif kind == "synthetic":
             count = int(fields[1])
-            seed = int(fields[2]) if len(fields) > 2 else 7
-            programs += synthetic_programs(count, seed=seed)
+            if len(fields) > 2:
+                part_seed = int(fields[2])
+            elif seed is not None:
+                part_seed = seed
+            else:
+                part_seed = 7
+            programs += synthetic_programs(count, seed=part_seed)
         else:
             raise ValueError(f"unknown workload kind {kind!r} in {spec!r}")
     return programs
 
 
-def parse_topology(spec: str) -> Network:
-    """Parse a topology spec into a network."""
+def parse_topology(spec: str, seed: int = None) -> Network:
+    """Parse a topology spec into a network.
+
+    ``seed`` (the CLI ``--seed`` flag) seeds the random WAN generator
+    unless the spec pins its own (``wan:NODES:EDGES:SEED``).
+    """
     fields = spec.strip().split(":")
     kind = fields[0]
     if kind == "zoo":
@@ -73,8 +91,13 @@ def parse_topology(spec: str) -> Network:
         return fat_tree(int(fields[1]))
     if kind == "wan":
         nodes, edges = int(fields[1]), int(fields[2])
-        seed = int(fields[3]) if len(fields) > 3 else 0
-        return random_wan(nodes, edges, seed=seed)
+        if len(fields) > 3:
+            wan_seed = int(fields[3])
+        elif seed is not None:
+            wan_seed = seed
+        else:
+            wan_seed = 0
+        return random_wan(nodes, edges, seed=wan_seed)
     raise ValueError(f"unknown topology kind {kind!r} in {spec!r}")
 
 
@@ -82,8 +105,8 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     from repro.core import Backend, CoordinationAnalysis, Hermes
     from repro.core.verification import verify_dataflow
 
-    programs = parse_workload(args.workload)
-    network = parse_topology(args.topology)
+    programs = parse_workload(args.workload, seed=args.seed)
+    network = parse_topology(args.topology, seed=args.seed)
     hermes = Hermes(
         mode=args.mode,
         epsilon2=args.epsilon2,
@@ -199,6 +222,101 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     raise AssertionError(args.plan_command)  # pragma: no cover
 
 
+def _cmd_churn(args: argparse.Namespace) -> int:
+    """The ``churn run|replay|report`` lifecycle subcommands."""
+    import json
+
+    from repro.runtime import (
+        DisruptionReport,
+        Reconciler,
+        ReconcilerPolicy,
+        ScenarioError,
+        generate_scenario,
+        read_scenario,
+        seed_rules,
+        write_scenario,
+    )
+
+    if args.churn_command == "report":
+        try:
+            with open(args.report) as fh:
+                report = DisruptionReport.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load report: {exc}")
+            return 1
+        print(report.render())
+        return 0
+
+    if args.churn_command == "run":
+        # Pin the effective seeds into the embedded specs so the saved
+        # scenario file replays identically with no extra flags.
+        workload_spec = _pin_spec_seed(args.workload, args.seed, "synthetic")
+        topology_spec = _pin_spec_seed(args.topology, args.seed, "wan")
+        network = parse_topology(topology_spec)
+        scenario = generate_scenario(
+            network,
+            num_events=args.events,
+            seed=args.seed if args.seed is not None else 0,
+            workload_spec=workload_spec,
+            topology_spec=topology_spec,
+        )
+        if args.scenario_out:
+            write_scenario(scenario, args.scenario_out)
+            print(f"wrote scenario to {args.scenario_out}")
+    else:  # replay: the scenario file is self-contained
+        try:
+            scenario = read_scenario(args.scenario)
+        except (ScenarioError, OSError) as exc:
+            print(f"cannot load scenario: {exc}")
+            return 1
+        network = parse_topology(scenario.topology_spec, seed=args.seed)
+    programs = parse_workload(scenario.workload_spec, seed=args.seed)
+
+    policy = ReconcilerPolicy(
+        replan_budget_s=args.replan_budget,
+        max_retries=args.max_retries,
+        debounce_s=args.debounce,
+    )
+    reconciler = Reconciler(
+        programs, network, policy=policy, prepare_fn=seed_rules
+    )
+    result = reconciler.run(scenario)
+    report = result.report()
+    print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {args.report_out}")
+    if args.plans_dir:
+        paths = result.store.write_dir(args.plans_dir)
+        print(
+            f"wrote {len(paths) - 1} plan versions + history.json "
+            f"to {args.plans_dir}"
+        )
+    failed = [o for o in result.outcomes if not o.converged]
+    return 1 if failed and args.strict else 0
+
+
+def _pin_spec_seed(spec: str, seed: int, kind: str) -> str:
+    """Append an explicit ``--seed`` to seedable spec parts.
+
+    ``synthetic:N`` becomes ``synthetic:N:SEED`` and ``wan:N:E``
+    becomes ``wan:N:E:SEED``; parts that already pin a seed (or take
+    none) pass through unchanged.
+    """
+    if seed is None:
+        return spec
+    arity = {"synthetic": 2, "wan": 3}[kind]
+    parts = []
+    for part in spec.split("+"):
+        fields = part.strip().split(":")
+        if fields[0] == kind and len(fields) == arity:
+            part = f"{part.strip()}:{seed}"
+        parts.append(part)
+    return "+".join(parts)
+
+
 def _make_runner(args: argparse.Namespace):
     """Build an ExperimentRunner from ``--workers/--cache-dir/--journal``.
 
@@ -271,6 +389,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments import exp6_resources
 
         exp6_resources.main(runner=runner)
+    elif name == "exp7":
+        from repro.experiments import exp7_churn
+
+        points = exp7_churn.run(
+            seeds=tuple(args.seeds),
+            num_events=args.events,
+            workload_spec=args.workload,
+            runner=runner,
+        )
+        exp7_churn.main(points)
+        _maybe_export(
+            args,
+            [
+                {
+                    "seed": p.seed,
+                    "topology": p.topology_spec,
+                    **p.report.to_dict(),
+                }
+                for p in points
+            ],
+        )
     elif name == "report":
         _quick_report()
     else:  # pragma: no cover - argparse prevents this
@@ -407,9 +546,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_profile_flag(p5)
     _add_runner_flags(p5)
 
+    p7 = sub.add_parser("exp7", help="run exp7 disruption under churn")
+    p7.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2, 3, 4]
+    )
+    p7.add_argument("--events", type=int, default=8)
+    p7.add_argument("--workload", default="real:10")
+    p7.add_argument("--json", default=None, help="export rows to a JSON file")
+    _add_runner_flags(p7)
+
     d = sub.add_parser("deploy", help="deploy a workload with Hermes")
     d.add_argument("--workload", default="real:10")
     d.add_argument("--topology", default="linear:3")
+    d.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "seed for synthetic workloads and random WAN topologies "
+            "(specs with an explicit seed still win)"
+        ),
+    )
     d.add_argument(
         "--mode", choices=("heuristic", "optimal"), default="heuristic"
     )
@@ -465,6 +622,90 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when the plans differ (0 when identical)",
     )
+
+    ch = sub.add_parser(
+        "churn", help="replay churn scenarios against a live deployment"
+    )
+    churn_sub = ch.add_subparsers(dest="churn_command", required=True)
+
+    def _add_churn_policy_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--replan-budget",
+            type=float,
+            default=None,
+            help=(
+                "wall-clock budget per replan in seconds; over budget "
+                "falls back to the cheapest local patch (default: no "
+                "budget, fully deterministic histories)"
+            ),
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            help="replan retries on deployment errors",
+        )
+        p.add_argument(
+            "--debounce",
+            type=float,
+            default=0.0,
+            help=(
+                "coalesce events closer than this many (virtual) "
+                "seconds into one replan"
+            ),
+        )
+        p.add_argument(
+            "--report-out",
+            default=None,
+            help="write the disruption report JSON to this path",
+        )
+        p.add_argument(
+            "--plans-dir",
+            default=None,
+            help="write every plan version + history.json to this dir",
+        )
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="exit 1 when any event batch failed to converge",
+        )
+
+    cr = churn_sub.add_parser(
+        "run", help="generate a seeded scenario and reconcile through it"
+    )
+    cr.add_argument("--workload", default="real:10")
+    cr.add_argument("--topology", default="wan:16:24")
+    cr.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="scenario seed (also seeds synthetic workloads/WANs)",
+    )
+    cr.add_argument("--events", type=int, default=8)
+    cr.add_argument(
+        "--scenario-out",
+        default=None,
+        help="save the generated scenario document for later replay",
+    )
+    _add_churn_policy_flags(cr)
+
+    cp = churn_sub.add_parser(
+        "replay", help="replay a saved (self-contained) scenario file"
+    )
+    cp.add_argument("scenario", help="scenario JSON path")
+    cp.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override seed for workload/topology specs without one",
+    )
+    _add_churn_policy_flags(cp)
+
+    cq = churn_sub.add_parser(
+        "report", help="pretty-print a saved disruption report"
+    )
+    cq.add_argument("report", help="report JSON path")
+
     return parser
 
 
@@ -474,6 +715,8 @@ def main(argv: Sequence[str] = None) -> int:
         return _cmd_deploy(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "churn":
+        return _cmd_churn(args)
     return _cmd_experiment(args)
 
 

@@ -18,6 +18,7 @@ package provides it:
 from repro.control.controller import (
     Controller,
     ControllerError,
+    RebindReport,
     RuleEvent,
     TableHandle,
 )
@@ -25,6 +26,7 @@ from repro.control.migration import (
     MigrationDiff,
     MigrationPlanner,
     MatMove,
+    compute_moves,
 )
 
 __all__ = [
@@ -33,6 +35,8 @@ __all__ = [
     "MatMove",
     "MigrationDiff",
     "MigrationPlanner",
+    "RebindReport",
     "RuleEvent",
     "TableHandle",
+    "compute_moves",
 ]

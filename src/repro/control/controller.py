@@ -29,6 +29,7 @@ class ControllerError(RuntimeError):
 class _EventKind(enum.Enum):
     INSTALL = "install"
     REMOVE = "remove"
+    REPLAY = "replay"
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,23 @@ class RuleEvent:
     mat_name: str
     switch: str
     rule: Rule
+
+
+@dataclass(frozen=True)
+class RebindReport:
+    """What :meth:`Controller.rebind` did to the table set.
+
+    Attributes:
+        moved: MATs whose hosting switch changed (rules replayed).
+        replayed_rules: Total rules re-installed on moved MATs.
+        dropped: MATs present before but absent from the new plan.
+        added: MATs the new plan introduces.
+    """
+
+    moved: Tuple[str, ...]
+    replayed_rules: int
+    dropped: Tuple[str, ...]
+    added: Tuple[str, ...]
 
 
 @dataclass
@@ -83,6 +101,7 @@ class Controller:
         self._tables: Dict[str, TableHandle] = {}
         self._log: List[RuleEvent] = []
         self._seq = itertools.count(1)
+        self._dropped: set = set()
         for mat_name, placement in plan.placements.items():
             mat = plan.tdg.node(mat_name)
             self._tables[mat_name] = TableHandle(
@@ -100,6 +119,11 @@ class Controller:
         try:
             return self._tables[mat_name]
         except KeyError:
+            if mat_name in self._dropped:
+                raise ControllerError(
+                    f"MAT {mat_name!r} was dropped by a migration; its "
+                    "table no longer exists on any switch"
+                ) from None
             raise ControllerError(
                 f"no deployed MAT named {mat_name!r}"
             ) from None
@@ -176,6 +200,68 @@ class Controller:
         for rule in list(handle.installed):
             self.remove_rule(mat_name, rule)
         return count
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def rebind(self, plan: DeploymentPlan) -> RebindReport:
+        """Point the controller at a migrated plan.
+
+        Without this, rule installs after a migration resolve against
+        the *old* plan's handles and target a switch that may no longer
+        host the MAT (or no longer exist).  ``rebind`` remaps every
+        :class:`TableHandle` to the new plan's placement, carries the
+        installed rules along — logging one ``replay`` event per rule
+        on each MAT that changed switches, the re-installs an operator
+        would drive — and forgets tables for MATs the new plan dropped;
+        later installs against those raise a :class:`ControllerError`
+        naming the migration instead of silently targeting dead state.
+        """
+        old_tables = self._tables
+        new_tables: Dict[str, TableHandle] = {}
+        moved: List[str] = []
+        added: List[str] = []
+        replayed = 0
+        for mat_name, placement in plan.placements.items():
+            mat = plan.tdg.node(mat_name)
+            old = old_tables.get(mat_name)
+            installed = (
+                list(old.installed) if old is not None else list(mat.rules)
+            )
+            handle = TableHandle(
+                mat_name=mat_name,
+                switch=placement.switch,
+                stages=placement.stages,
+                capacity=mat.capacity,
+                installed=installed,
+            )
+            new_tables[mat_name] = handle
+            if old is None:
+                added.append(mat_name)
+            elif old.switch != placement.switch:
+                moved.append(mat_name)
+                for rule in installed:
+                    self._log.append(
+                        RuleEvent(
+                            next(self._seq),
+                            _EventKind.REPLAY.value,
+                            mat_name,
+                            placement.switch,
+                            rule,
+                        )
+                    )
+                replayed += len(installed)
+        dropped = sorted(set(old_tables) - set(new_tables))
+        self._dropped |= set(dropped)
+        self._dropped -= set(new_tables)
+        self._tables = new_tables
+        self.plan = plan
+        return RebindReport(
+            moved=tuple(sorted(moved)),
+            replayed_rules=replayed,
+            dropped=tuple(dropped),
+            added=tuple(sorted(added)),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

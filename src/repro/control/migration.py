@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import AbstractSet, Dict, List, Optional
 
 from repro.core.deployment import DeploymentError, DeploymentPlan
 from repro.core.heuristic import GreedyHeuristic
@@ -30,12 +30,23 @@ from repro.plan.diff import PlanDiff, diff_plans
 
 @dataclass(frozen=True)
 class MatMove:
-    """One MAT changing its physical location."""
+    """One MAT changing its physical location.
+
+    ``source`` is None when the old hosting switch vanished (failure,
+    drain, or loss of programmability) — the move was *forced*, not an
+    optimization choice, and disruption accounting treats the two
+    differently.
+    """
 
     mat_name: str
-    source: str  # old switch ("" when the source switch is gone)
+    source: Optional[str]  # None = the hosting switch is gone
     destination: str
     rules_to_replay: int
+
+    @property
+    def forced(self) -> bool:
+        """Whether the old host vanished (vs the optimizer choosing)."""
+        return self.source is None
 
 
 @dataclass
@@ -76,6 +87,16 @@ class MigrationDiff:
     @property
     def rules_to_replay(self) -> int:
         return sum(move.rules_to_replay for move in self.moves)
+
+    @property
+    def forced_moves(self) -> List[MatMove]:
+        """Moves whose old host vanished — the event *made* them move."""
+        return [move for move in self.moves if move.forced]
+
+    @property
+    def optimization_moves(self) -> List[MatMove]:
+        """Moves the re-run heuristic chose while the old host lived."""
+        return [move for move in self.moves if not move.forced]
 
 
 def surviving_network(network: Network, failed: str) -> Network:
@@ -160,26 +181,56 @@ class MigrationPlanner:
             raise DeploymentError(
                 "plans deploy different MAT sets; cannot diff"
             )
+        vanished = {failed_switch} if failed_switch is not None else set()
         diff = MigrationDiff(
             new_plan=new_plan,
             plan_diff=diff_plans(old_plan, new_plan),
         )
-        for mat_name in old_plan.placements:
-            old_switch = old_plan.switch_of(mat_name)
-            new_switch = new_plan.switch_of(mat_name)
-            if old_switch == new_switch and old_switch != failed_switch:
-                diff.unchanged.append(mat_name)
-                continue
-            if installed_rules is not None:
-                replay = len(installed_rules.get(mat_name, []))
-            else:
-                replay = len(old_plan.tdg.node(mat_name).rules)
-            diff.moves.append(
-                MatMove(
-                    mat_name=mat_name,
-                    source="" if old_switch == failed_switch else old_switch,
-                    destination=new_switch,
-                    rules_to_replay=replay,
-                )
-            )
+        moves, unchanged = compute_moves(
+            old_plan, new_plan, installed_rules, vanished
+        )
+        diff.moves.extend(moves)
+        diff.unchanged.extend(unchanged)
         return diff
+
+
+def compute_moves(
+    old_plan: DeploymentPlan,
+    new_plan: DeploymentPlan,
+    installed_rules: Optional[Dict[str, List[Rule]]] = None,
+    vanished: AbstractSet[str] = frozenset(),
+) -> "tuple[List[MatMove], List[str]]":
+    """The (moves, unchanged) split over the plans' *common* MATs.
+
+    Unlike :meth:`MigrationPlanner.diff`, this tolerates workload
+    changes between the plans (added/removed MATs simply don't appear)
+    — the lifecycle reconciler's case, where a ``workload_add`` event
+    and a switch failure can land in the same replan batch.
+
+    ``vanished`` names switches that can no longer host MATs; a MAT
+    leaving one of them becomes a *forced* move (``source=None``).
+    """
+    moves: List[MatMove] = []
+    unchanged: List[str] = []
+    common = set(old_plan.placements) & set(new_plan.placements)
+    for mat_name in old_plan.placements:
+        if mat_name not in common:
+            continue
+        old_switch = old_plan.switch_of(mat_name)
+        new_switch = new_plan.switch_of(mat_name)
+        if old_switch == new_switch and old_switch not in vanished:
+            unchanged.append(mat_name)
+            continue
+        if installed_rules is not None:
+            replay = len(installed_rules.get(mat_name, []))
+        else:
+            replay = len(old_plan.tdg.node(mat_name).rules)
+        moves.append(
+            MatMove(
+                mat_name=mat_name,
+                source=None if old_switch in vanished else old_switch,
+                destination=new_switch,
+                rules_to_replay=replay,
+            )
+        )
+    return moves, unchanged

@@ -9,6 +9,7 @@
 | ``exp4_endtoend``   | Fig. 8 — end-to-end impact at scale              |
 | ``exp5_scalability``| Fig. 9 — scaling the number of programs          |
 | ``exp6_resources``  | §VI Exp#6 — switch resource consumption          |
+| ``exp7_churn``      | Exp#7 — disruption under churn (beyond paper)    |
 
 Every module exposes a ``run(...)`` returning structured rows and a
 ``main()`` that prints the paper-style table; all are parameterized so

@@ -1,0 +1,180 @@
+"""Exp#7: disruption under churn — the lifecycle runtime experiment.
+
+The paper's experiments measure *static* deployments; Exp#7 measures
+what churn does to a *live* one.  A corpus of seeded scenarios (switch
+failures/recoveries, drains, link retunes, programmability flips,
+workload changes) is replayed by the :class:`repro.runtime.Reconciler`
+against deployments of the ten real switch.p4 slices, and each run's
+:class:`~repro.runtime.report.DisruptionReport` is collected: forced vs
+optimization MAT moves, rules replayed, time-to-converge, and how often
+a replan degrades vs improves ``A_max``.
+
+Scenario generation and replay are fully seeded, so the experiment is
+deterministic: the per-scenario plan-history digests printed in the
+table double as regression fingerprints.
+
+Runs fan out across the experiment runner's process pool (one scenario
+per worker) and the ``runtime.*`` telemetry of every run is serialized
+into the runner's JSONL journal in scenario order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.experiments.reporting import Table
+from repro.runtime.report import DisruptionReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentRunner
+
+#: Default corpus: one scenario per seed, each on its own seeded WAN.
+SCENARIO_SEEDS = (0, 1, 2, 3, 4)
+NUM_EVENTS = 8
+WORKLOAD_SPEC = "real:10"
+
+
+def topology_spec_for(seed: int) -> str:
+    """The seeded WAN each scenario runs on (CLI topology grammar)."""
+    return f"wan:16:24:{seed + 1}"
+
+
+def make_scenario(
+    seed: int,
+    num_events: int = NUM_EVENTS,
+    workload_spec: str = WORKLOAD_SPEC,
+    topology_spec: Optional[str] = None,
+):
+    """Generate one corpus scenario (self-contained, replayable)."""
+    from repro.cli import parse_topology
+    from repro.runtime import generate_scenario
+
+    topology_spec = topology_spec or topology_spec_for(seed)
+    network = parse_topology(topology_spec)
+    return generate_scenario(
+        network,
+        num_events=num_events,
+        seed=seed,
+        workload_spec=workload_spec,
+        topology_spec=topology_spec,
+        name=f"exp7-seed{seed}",
+    )
+
+
+def replay_scenario_doc(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Replay one serialized scenario; module-level so pools can pickle.
+
+    Returns the disruption report document plus the run's recorded
+    ``runtime.*`` telemetry events.
+    """
+    from repro.cli import parse_topology, parse_workload
+    from repro.runtime import Reconciler, Scenario, seed_rules
+    from repro.telemetry import Recorder, attached
+
+    scenario = Scenario.from_dict(doc)
+    programs = parse_workload(scenario.workload_spec)
+    network = parse_topology(scenario.topology_spec)
+    recorder = Recorder()
+    with attached(recorder):
+        result = Reconciler(
+            programs, network, prepare_fn=seed_rules
+        ).run(scenario)
+    return {
+        "report": result.report().to_dict(),
+        "events": recorder.events,
+    }
+
+
+@dataclass
+class Exp7Point:
+    """One scenario of the churn corpus."""
+
+    seed: int
+    topology_spec: str
+    report: DisruptionReport
+    workload_spec: str = WORKLOAD_SPEC
+
+
+def run(
+    seeds: Sequence[int] = SCENARIO_SEEDS,
+    num_events: int = NUM_EVENTS,
+    workload_spec: str = WORKLOAD_SPEC,
+    runner: Optional["ExperimentRunner"] = None,
+) -> List[Exp7Point]:
+    """Replay the scenario corpus, one reconciler run per scenario."""
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.runner.telemetry import JournalWriter
+
+    scenarios = [
+        make_scenario(seed, num_events, workload_spec) for seed in seeds
+    ]
+    runner = runner or ExperimentRunner()
+    outputs = runner.map(
+        replay_scenario_doc, [s.to_dict() for s in scenarios]
+    )
+    if runner.config.journal:
+        with JournalWriter(runner.config.journal) as journal:
+            for i, output in enumerate(outputs):
+                journal.write(
+                    {"kind": "runtime.scenario", "index": i,
+                     "seed": scenarios[i].seed}
+                )
+                for event in output["events"]:
+                    line = dict(event)
+                    line["scenario"] = i
+                    journal.write(line)
+    return [
+        Exp7Point(
+            seed=scenario.seed,
+            topology_spec=scenario.topology_spec,
+            report=DisruptionReport.from_dict(output["report"]),
+            workload_spec=scenario.workload_spec,
+        )
+        for scenario, output in zip(scenarios, outputs)
+    ]
+
+
+def table(points: List[Exp7Point]) -> Table:
+    """The per-scenario disruption summary table."""
+    events = points[0].report.num_events if points else NUM_EVENTS
+    workload = points[0].workload_spec if points else WORKLOAD_SPEC
+    out = Table(
+        title="Exp#7: disruption under churn "
+        f"({workload} workload, {events} events/scenario)",
+        headers=[
+            "seed", "topology", "batches", "conv", "forced", "opt",
+            "rules", "degraded", "improved", "peak transient (B)",
+            "mean conv (ms)", "digest",
+        ],
+    )
+    for p in points:
+        r = p.report
+        out.add_row(
+            [
+                p.seed,
+                p.topology_spec,
+                r.num_batches,
+                r.num_converged,
+                r.forced_moves,
+                r.optimization_moves,
+                r.rules_replayed,
+                r.degraded_batches,
+                r.improved_batches,
+                r.peak_transient_amax_bytes,
+                f"{r.mean_convergence_s * 1e3:.1f}",
+                r.history_digest[:12],
+            ]
+        )
+    return out
+
+
+def main(points: Optional[List[Exp7Point]] = None) -> str:
+    points = points if points is not None else run()
+    output = table(points).render()
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,256 @@
+"""The reconciler's timeout fallback: a cheapest feasible local patch.
+
+The normal replan path re-runs the global heuristic — deliberately, as
+:mod:`repro.control.migration` explains, because a local patch can
+strand heavy-metadata edges across the patch boundary and lose the
+byte-overhead guarantee.  But a reconciler under a hard time budget
+needs *some* valid plan now; :func:`cheapest_patch` is that degraded
+mode.  It keeps every surviving placement exactly where it is, re-homes
+only the orphaned MATs (those whose old host vanished or stopped being
+able to host), greedily choosing for each orphan the feasible
+(switch, stages) spot that adds the fewest cross-switch bytes, and
+rebuilds the routing over latency-shortest paths on the current
+network.  The result validates against every paper constraint; its
+``A_max`` is merely not guaranteed to be minimal — exactly the
+trade the time budget asked for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.paths import PathEnumerator
+from repro.network.switch import Switch
+from repro.network.topology import Network
+from repro.plan.artifact import (
+    DeploymentError,
+    DeploymentPlan,
+    MatPlacement,
+)
+from repro.tdg.graph import Tdg
+
+
+def cheapest_patch(
+    old_plan: DeploymentPlan,
+    network: Network,
+    paths: Optional[PathEnumerator] = None,
+) -> DeploymentPlan:
+    """Re-home only the MATs whose old host can no longer serve.
+
+    Args:
+        old_plan: The currently active plan (its TDG must still be the
+            live workload; the caller falls back to a full replan when
+            the workload changed).
+        network: The current substrate.
+        paths: Optional shared path enumerator for ``network``.
+
+    Returns:
+        A validated plan with minimal placement churn.
+
+    Raises:
+        DeploymentError: If some orphan fits on no surviving switch.
+    """
+    tdg = old_plan.tdg
+    paths = paths or PathEnumerator(network)
+    hostable = {
+        s.name: s for s in network.programmable_switches()
+    }
+    if not hostable:
+        raise DeploymentError("patch: no programmable switches survive")
+
+    surviving: Dict[str, MatPlacement] = {}
+    orphans: List[str] = []
+    for name, placement in old_plan.placements.items():
+        host = hostable.get(placement.switch)
+        if host is not None and placement.last_stage <= host.num_stages:
+            surviving[name] = placement
+        else:
+            orphans.append(name)
+    if not orphans:
+        # Nothing to re-home; only the routing may need repair.
+        return _routed(tdg, network, surviving, paths)
+
+    free = _free_capacity(tdg, network, hostable, surviving)
+    placements = dict(surviving)
+    for name in tdg.topological_order():
+        if name not in set(orphans):
+            continue
+        placements[name] = _place_orphan(
+            tdg, name, hostable, free, placements, paths
+        )
+    plan = _routed(tdg, network, placements, paths)
+    plan.validate()
+    return plan
+
+
+def _free_capacity(
+    tdg: Tdg,
+    network: Network,
+    hostable: Dict[str, Switch],
+    surviving: Dict[str, MatPlacement],
+) -> Dict[str, List[float]]:
+    """Per-switch, per-stage capacity left after surviving placements."""
+    free = {
+        name: [switch.stage_capacity] * switch.num_stages
+        for name, switch in hostable.items()
+    }
+    for placement in surviving.values():
+        share = tdg.node(placement.mat_name).resource_demand / len(
+            placement.stages
+        )
+        stages = free[placement.switch]
+        for stage in placement.stages:
+            stages[stage - 1] -= share
+    return free
+
+
+def _place_orphan(
+    tdg: Tdg,
+    name: str,
+    hostable: Dict[str, Switch],
+    free: Dict[str, List[float]],
+    placements: Dict[str, MatPlacement],
+    paths: PathEnumerator,
+    tol: float = 1e-9,
+) -> MatPlacement:
+    """The cheapest feasible spot for one orphaned MAT.
+
+    Candidates are scored by the metadata bytes the placement sends
+    across switch boundaries (lower is cheaper); reachability of every
+    already-placed neighbor is required so routing stays closed.  Ties
+    break on the switch name, keeping the patch deterministic.
+    """
+    mat = tdg.node(name)
+    best: Optional[Tuple[int, str, MatPlacement]] = None
+    for switch_name in sorted(hostable):
+        switch = hostable[switch_name]
+        window = _stage_window(tdg, name, switch_name, switch, placements)
+        if window is None:
+            continue
+        lo, hi = window
+        stages = _fit_stages(
+            mat.resource_demand, free[switch_name], lo, hi, tol
+        )
+        if stages is None:
+            continue
+        cost = _cross_bytes(tdg, name, switch_name, placements)
+        if not _neighbors_reachable(tdg, name, switch_name, placements, paths):
+            continue
+        candidate = MatPlacement(name, switch_name, stages)
+        if best is None or (cost, switch_name) < (best[0], best[1]):
+            best = (cost, switch_name, candidate)
+    if best is None:
+        raise DeploymentError(
+            f"patch: orphaned MAT {name!r} fits on no surviving switch"
+        )
+    placement = best[2]
+    share = mat.resource_demand / len(placement.stages)
+    for stage in placement.stages:
+        free[placement.switch][stage - 1] -= share
+    return placement
+
+
+def _stage_window(
+    tdg: Tdg,
+    name: str,
+    switch_name: str,
+    switch: Switch,
+    placements: Dict[str, MatPlacement],
+) -> Optional[Tuple[int, int]]:
+    """Stage bounds (lo, hi) honoring same-switch dependency order."""
+    lo, hi = 1, switch.num_stages
+    for pred in tdg.predecessors(name):
+        placement = placements.get(pred)
+        if placement is not None and placement.switch == switch_name:
+            lo = max(lo, placement.last_stage + 1)
+    for succ in tdg.successors(name):
+        placement = placements.get(succ)
+        if placement is not None and placement.switch == switch_name:
+            hi = min(hi, placement.first_stage - 1)
+    if lo > hi:
+        return None
+    return lo, hi
+
+
+def _fit_stages(
+    demand: float,
+    free: List[float],
+    lo: int,
+    hi: int,
+    tol: float,
+) -> Optional[Tuple[int, ...]]:
+    """Smallest consecutive stage window in [lo, hi] holding ``demand``.
+
+    The demand splits evenly across the window (matching
+    :func:`repro.core.stages.assign_stages` semantics); the earliest
+    smallest window wins for determinism.
+    """
+    for width in range(1, hi - lo + 2):
+        share = demand / width
+        for start in range(lo, hi - width + 2):
+            if all(
+                free[stage - 1] + tol >= share
+                for stage in range(start, start + width)
+            ):
+                return tuple(range(start, start + width))
+    return None
+
+
+def _cross_bytes(
+    tdg: Tdg,
+    name: str,
+    switch_name: str,
+    placements: Dict[str, MatPlacement],
+) -> int:
+    """Metadata bytes this placement sends across switch boundaries."""
+    total = 0
+    for edge in tdg.in_edges(name):
+        placement = placements.get(edge.upstream)
+        if placement is not None and placement.switch != switch_name:
+            total += edge.metadata_bytes
+    for edge in tdg.out_edges(name):
+        placement = placements.get(edge.downstream)
+        if placement is not None and placement.switch != switch_name:
+            total += edge.metadata_bytes
+    return total
+
+
+def _neighbors_reachable(
+    tdg: Tdg,
+    name: str,
+    switch_name: str,
+    placements: Dict[str, MatPlacement],
+    paths: PathEnumerator,
+) -> bool:
+    for pred in tdg.predecessors(name):
+        placement = placements.get(pred)
+        if placement is not None and not paths.reachable(
+            placement.switch, switch_name
+        ):
+            return False
+    for succ in tdg.successors(name):
+        placement = placements.get(succ)
+        if placement is not None and not paths.reachable(
+            switch_name, placement.switch
+        ):
+            return False
+    return True
+
+
+def _routed(
+    tdg: Tdg,
+    network: Network,
+    placements: Dict[str, MatPlacement],
+    paths: PathEnumerator,
+) -> DeploymentPlan:
+    """A plan over ``placements`` routed on latency-shortest paths."""
+    plan = DeploymentPlan(tdg, network, placements)
+    routing = {}
+    for pair in plan.pair_metadata_bytes():
+        path = paths.shortest(*pair)
+        if path is None:
+            raise DeploymentError(
+                f"patch: communicating pair {pair} is disconnected"
+            )
+        routing[pair] = path
+    return plan.with_routing(routing)

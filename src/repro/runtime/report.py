@@ -1,0 +1,285 @@
+"""Disruption metrics over one reconciled scenario.
+
+The :class:`DisruptionReport` answers the operational questions the
+paper's static experiments can't: when the network churns under a live
+deployment, *how much does each event hurt*?  It aggregates the
+reconciler's per-batch :class:`~repro.runtime.reconciler.EventOutcome`
+records into:
+
+* MAT moves (forced vs optimization) and rules replayed per event;
+* the per-pair byte-overhead trajectory over virtual time, including
+  the transient migration windows where both placements coexist;
+* time-to-converge per event (replan latency plus retry backoff);
+* the fraction of events whose replan *degraded* vs *improved*
+  ``A_max`` relative to the pre-event plan.
+
+The report is a plain serializable value: ``to_dict``/``from_dict``
+round-trip it through JSON, and :meth:`render` pretty-prints the event
+table for the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, TYPE_CHECKING
+
+from repro.experiments.reporting import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.reconciler import ReconcileResult
+
+REPORT_SCHEMA = "repro.disruption/v1"
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One sample of the byte-overhead trajectory.
+
+    ``transient`` marks the migration window sample: the worst-pair
+    overhead while old and new placements coexist, always >= both
+    steady-state neighbors.
+    """
+
+    time_s: float
+    amax_bytes: int
+    transient: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time_s": self.time_s,
+            "amax_bytes": self.amax_bytes,
+            "transient": self.transient,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TrajectoryPoint":
+        return cls(
+            time_s=float(doc["time_s"]),
+            amax_bytes=int(doc["amax_bytes"]),
+            transient=bool(doc.get("transient", False)),
+        )
+
+
+@dataclass
+class DisruptionReport:
+    """Aggregated disruption metrics for one scenario run."""
+
+    scenario_name: str
+    scenario_seed: int
+    scenario_fingerprint: str
+    history_digest: str
+    num_events: int
+    num_batches: int
+    num_converged: int
+    plan_versions: int
+    forced_moves: int
+    optimization_moves: int
+    rules_replayed: int
+    degraded_batches: int
+    improved_batches: int
+    neutral_batches: int
+    mean_convergence_s: float
+    max_convergence_s: float
+    initial_amax_bytes: int
+    final_amax_bytes: int
+    peak_transient_amax_bytes: int
+    trajectory: List[TrajectoryPoint] = field(default_factory=list)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result: "ReconcileResult") -> "DisruptionReport":
+        """Fold a reconciler run into the report."""
+        outcomes = result.outcomes
+        versions = result.store.versions
+        initial = versions[0]
+        trajectory: List[TrajectoryPoint] = [
+            TrajectoryPoint(0.0, initial.plan.max_metadata_bytes())
+        ]
+        rows: List[Dict[str, Any]] = []
+        converged = [o for o in outcomes if o.converged]
+        for outcome in outcomes:
+            rows.append(outcome.to_dict())
+            if outcome.converged:
+                if outcome.transient_amax_bytes:
+                    trajectory.append(
+                        TrajectoryPoint(
+                            outcome.time_s,
+                            outcome.transient_amax_bytes,
+                            transient=True,
+                        )
+                    )
+                trajectory.append(
+                    TrajectoryPoint(
+                        outcome.time_s + outcome.convergence_time_s,
+                        outcome.new_amax_bytes,
+                    )
+                )
+        degraded = sum(1 for o in converged if o.amax_delta_bytes > 0)
+        improved = sum(1 for o in converged if o.amax_delta_bytes < 0)
+        times = [o.convergence_time_s for o in converged]
+        latest = result.store.latest
+        assert latest is not None
+        return cls(
+            scenario_name=result.scenario.name,
+            scenario_seed=result.scenario.seed,
+            scenario_fingerprint=result.scenario.fingerprint(),
+            history_digest=result.store.history_digest(),
+            num_events=len(result.scenario.events),
+            num_batches=len(outcomes),
+            num_converged=len(converged),
+            plan_versions=len(versions),
+            forced_moves=sum(o.forced_moves for o in converged),
+            optimization_moves=sum(
+                o.optimization_moves for o in converged
+            ),
+            rules_replayed=sum(o.rules_replayed for o in converged),
+            degraded_batches=degraded,
+            improved_batches=improved,
+            neutral_batches=len(converged) - degraded - improved,
+            mean_convergence_s=(
+                sum(times) / len(times) if times else 0.0
+            ),
+            max_convergence_s=max(times, default=0.0),
+            initial_amax_bytes=initial.plan.max_metadata_bytes(),
+            final_amax_bytes=latest.plan.max_metadata_bytes(),
+            peak_transient_amax_bytes=max(
+                (o.transient_amax_bytes for o in converged), default=0
+            ),
+            trajectory=trajectory,
+            rows=rows,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def moves(self) -> int:
+        return self.forced_moves + self.optimization_moves
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of converged batches whose replan raised ``A_max``."""
+        return (
+            self.degraded_batches / self.num_converged
+            if self.num_converged
+            else 0.0
+        )
+
+    @property
+    def improved_fraction(self) -> float:
+        return (
+            self.improved_batches / self.num_converged
+            if self.num_converged
+            else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "scenario_name": self.scenario_name,
+            "scenario_seed": self.scenario_seed,
+            "scenario_fingerprint": self.scenario_fingerprint,
+            "history_digest": self.history_digest,
+            "num_events": self.num_events,
+            "num_batches": self.num_batches,
+            "num_converged": self.num_converged,
+            "plan_versions": self.plan_versions,
+            "forced_moves": self.forced_moves,
+            "optimization_moves": self.optimization_moves,
+            "rules_replayed": self.rules_replayed,
+            "degraded_batches": self.degraded_batches,
+            "improved_batches": self.improved_batches,
+            "neutral_batches": self.neutral_batches,
+            "mean_convergence_s": self.mean_convergence_s,
+            "max_convergence_s": self.max_convergence_s,
+            "initial_amax_bytes": self.initial_amax_bytes,
+            "final_amax_bytes": self.final_amax_bytes,
+            "peak_transient_amax_bytes": self.peak_transient_amax_bytes,
+            "trajectory": [p.to_dict() for p in self.trajectory],
+            "rows": self.rows,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "DisruptionReport":
+        schema = doc.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise ValueError(
+                f"expected schema {REPORT_SCHEMA!r}, got {schema!r}"
+            )
+        return cls(
+            scenario_name=doc["scenario_name"],
+            scenario_seed=int(doc["scenario_seed"]),
+            scenario_fingerprint=doc["scenario_fingerprint"],
+            history_digest=doc["history_digest"],
+            num_events=int(doc["num_events"]),
+            num_batches=int(doc["num_batches"]),
+            num_converged=int(doc["num_converged"]),
+            plan_versions=int(doc["plan_versions"]),
+            forced_moves=int(doc["forced_moves"]),
+            optimization_moves=int(doc["optimization_moves"]),
+            rules_replayed=int(doc["rules_replayed"]),
+            degraded_batches=int(doc["degraded_batches"]),
+            improved_batches=int(doc["improved_batches"]),
+            neutral_batches=int(doc["neutral_batches"]),
+            mean_convergence_s=float(doc["mean_convergence_s"]),
+            max_convergence_s=float(doc["max_convergence_s"]),
+            initial_amax_bytes=int(doc["initial_amax_bytes"]),
+            final_amax_bytes=int(doc["final_amax_bytes"]),
+            peak_transient_amax_bytes=int(
+                doc["peak_transient_amax_bytes"]
+            ),
+            trajectory=[
+                TrajectoryPoint.from_dict(p)
+                for p in doc.get("trajectory", [])
+            ],
+            rows=list(doc.get("rows", [])),
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The CLI-facing text report: summary lines + event table."""
+        lines = [
+            f"Scenario {self.scenario_name!r} "
+            f"(seed {self.scenario_seed}): "
+            f"{self.num_events} events in {self.num_batches} batches, "
+            f"{self.num_converged} converged, "
+            f"{self.plan_versions} plan versions",
+            f"Moves: {self.forced_moves} forced + "
+            f"{self.optimization_moves} optimization "
+            f"({self.rules_replayed} rules replayed)",
+            f"A_max: {self.initial_amax_bytes} B -> "
+            f"{self.final_amax_bytes} B "
+            f"(peak transient {self.peak_transient_amax_bytes} B)",
+            f"Replans: {self.degraded_batches} degraded / "
+            f"{self.improved_batches} improved / "
+            f"{self.neutral_batches} neutral; "
+            f"convergence mean {self.mean_convergence_s * 1e3:.1f} ms, "
+            f"max {self.max_convergence_s * 1e3:.1f} ms",
+            f"History digest: {self.history_digest[:16]}...",
+            "",
+        ]
+        table = Table(
+            title="Per-batch disruption",
+            headers=[
+                "batch", "t (s)", "events", "converged", "forced",
+                "opt", "rules", "A_max (B)", "transient (B)",
+                "conv (ms)",
+            ],
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row["batch_index"],
+                    f"{row['time_s']:.2f}",
+                    ",".join(e["kind"] for e in row["events"]),
+                    "yes" if row["converged"] else "NO",
+                    row["forced_moves"],
+                    row["optimization_moves"],
+                    row["rules_replayed"],
+                    row["new_amax_bytes"],
+                    row["transient_amax_bytes"],
+                    f"{row['convergence_time_s'] * 1e3:.1f}",
+                ]
+            )
+        lines.append(table.render())
+        return "\n".join(lines)

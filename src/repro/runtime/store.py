@@ -1,0 +1,170 @@
+"""Versioned history of deployment-plan artifacts.
+
+Every plan the reconciler activates — the initial deployment and each
+post-event re-deployment — is appended to a :class:`PlanStore` as an
+immutable :class:`PlanVersion`, keyed by the plan's canonical
+``repro.plan/v1`` fingerprint.  The store exposes the structural
+:class:`~repro.plan.diff.PlanDiff` between consecutive versions and an
+end-to-end diff, and digests the whole history into one hash so two
+replays of the same scenario can be compared with a single string:
+same events, same policies, same code ⇒ same ``history_digest()``.
+
+Wall-clock timings deliberately never enter the store — versions carry
+the *virtual* event time — so the determinism contract holds across
+machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.plan.artifact import DeploymentPlan
+from repro.plan.diff import PlanDiff, diff_plans
+from repro.plan.serialize import canonical_dumps, write_plan
+
+
+@dataclass(frozen=True)
+class PlanVersion:
+    """One entry of the plan history.
+
+    Attributes:
+        version: 0-based position in the history.
+        fingerprint: SHA-256 of the plan's canonical serialization.
+        time_s: Virtual time the plan became active.
+        reason: Why it was produced: ``"initial"``, ``"replan"`` or
+            ``"patch"`` (the timeout fallback).
+        plan: The plan artifact itself.
+    """
+
+    version: int
+    fingerprint: str
+    time_s: float
+    reason: str
+    plan: DeploymentPlan
+
+
+class PlanStore:
+    """Append-only plan history with consecutive-version diffs."""
+
+    def __init__(self) -> None:
+        self._versions: List[PlanVersion] = []
+        self._by_fingerprint: Dict[str, DeploymentPlan] = {}
+        self._diffs: List[PlanDiff] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(
+        self, plan: DeploymentPlan, time_s: float, reason: str
+    ) -> PlanVersion:
+        """Record ``plan`` as the next active version."""
+        fingerprint = plan.fingerprint()
+        entry = PlanVersion(
+            version=len(self._versions),
+            fingerprint=fingerprint,
+            time_s=time_s,
+            reason=reason,
+            plan=plan,
+        )
+        if self._versions:
+            self._diffs.append(diff_plans(self._versions[-1].plan, plan))
+        self._versions.append(entry)
+        self._by_fingerprint.setdefault(fingerprint, plan)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    @property
+    def versions(self) -> List[PlanVersion]:
+        return list(self._versions)
+
+    @property
+    def latest(self) -> Optional[PlanVersion]:
+        return self._versions[-1] if self._versions else None
+
+    def get(self, fingerprint: str) -> DeploymentPlan:
+        """The plan with this fingerprint (any version that had it)."""
+        try:
+            return self._by_fingerprint[fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"no plan with fingerprint {fingerprint[:12]}..."
+            ) from None
+
+    def fingerprints(self) -> List[str]:
+        """Per-version fingerprints, oldest first."""
+        return [v.fingerprint for v in self._versions]
+
+    def diffs(self) -> List[PlanDiff]:
+        """Structural deltas between consecutive versions."""
+        return list(self._diffs)
+
+    def end_to_end_diff(self) -> PlanDiff:
+        """The delta from the first to the latest version."""
+        if not self._versions:
+            raise ValueError("empty plan store has no diff")
+        return diff_plans(self._versions[0].plan, self._versions[-1].plan)
+
+    def history_digest(self) -> str:
+        """One hash over the whole history: fingerprints + diffs.
+
+        Two reconciler runs that made the same decisions produce equal
+        digests; anything that moved a MAT differently changes it.
+        """
+        doc = {
+            "fingerprints": self.fingerprints(),
+            "diffs": [d.to_dict() for d in self._diffs],
+        }
+        blob = canonical_dumps(doc)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable history summary (no embedded plans)."""
+        return {
+            "versions": [
+                {
+                    "version": v.version,
+                    "fingerprint": v.fingerprint,
+                    "time_s": v.time_s,
+                    "reason": v.reason,
+                    "a_max_bytes": v.plan.max_metadata_bytes(),
+                    "occupied_switches": v.plan.num_occupied_switches(),
+                }
+                for v in self._versions
+            ],
+            "diffs": [d.to_dict() for d in self._diffs],
+            "history_digest": self.history_digest(),
+        }
+
+    def write_dir(self, directory: str) -> List[str]:
+        """Persist every version's full plan document plus the summary.
+
+        Writes ``plan-<version>-<fp12>.json`` per version and
+        ``history.json`` with the :meth:`to_dict` summary; returns the
+        written paths.
+        """
+        os.makedirs(directory, exist_ok=True)
+        paths: List[str] = []
+        for v in self._versions:
+            path = os.path.join(
+                directory, f"plan-{v.version:03d}-{v.fingerprint[:12]}.json"
+            )
+            write_plan(v.plan, path)
+            paths.append(path)
+        history = os.path.join(directory, "history.json")
+        with open(history, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(history)
+        return paths

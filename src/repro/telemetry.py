@@ -66,6 +66,22 @@ def attached(sink: Sink) -> Iterator[Sink]:
         _state.sink = previous
 
 
+def tee(*sinks: Sink) -> Sink:
+    """A sink that forwards every event to each of ``sinks`` in order.
+
+    Lets one block feed a journal and a recorder at once:
+
+        with attached(tee(journal_sink, recorder)):
+            reconciler.run(scenario)
+    """
+
+    def _fanout(event: Event) -> None:
+        for sink in sinks:
+            sink(event)
+
+    return _fanout
+
+
 class Recorder:
     """A sink that keeps every event in order of emission."""
 

@@ -100,3 +100,111 @@ class TestRuleManagement:
         replay = controller.rules_to_replay("p0.hash")
         assert len(replay) == 1
         assert replay[0].matches[0].value == 5
+
+
+class TestRebind:
+    """install -> migrate -> install: the controller follows the plan."""
+
+    @pytest.fixture
+    def controller(self, six_programs):
+        # A WAN with enough spare capacity that failing any one host
+        # still leaves a feasible re-deployment (small_line does not).
+        from repro.core import Hermes
+        from repro.network import random_wan
+
+        network = random_wan(12, 18, seed=4, num_stages=4)
+        return Controller(Hermes().deploy(six_programs, network).plan)
+
+    def rule(self, value=1):
+        return Rule(
+            matches=(
+                MatchSpec("ipv4.src_addr", MatchKind.EXACT, value),
+            ),
+            action_name="hash_meta_p0_idx",
+        )
+
+    def migrated(self, controller):
+        """A plan with p0.hash's host failed, forcing it to move."""
+        from repro.control import MigrationPlanner
+
+        victim = controller.plan.switch_of("p0.hash")
+        return (
+            MigrationPlanner()
+            .handle_switch_failure(controller.plan, victim)
+            .new_plan
+        )
+
+    def test_install_migrate_install(self, controller):
+        controller.install_rule("p0.hash", self.rule(1))
+        old_switch = controller.plan.switch_of("p0.hash")
+        new_plan = self.migrated(controller)
+        report = controller.rebind(new_plan)
+        assert controller.plan is new_plan
+        # The runtime rule survived the move and is replayed.
+        assert "p0.hash" in report.moved
+        assert report.replayed_rules >= 1
+        switch, _ = controller.resolve("p0.hash")
+        assert switch == new_plan.switch_of("p0.hash")
+        assert switch != old_switch
+        assert controller.table("p0.hash").occupancy == 1
+        # Installs after the migration land on the new switch.
+        event = controller.install_rule("p0.hash", self.rule(2))
+        assert event.switch == switch
+        assert controller.table("p0.hash").occupancy == 2
+
+    def test_replay_events_logged(self, controller):
+        controller.install_rule("p0.hash", self.rule(3))
+        controller.rebind(self.migrated(controller))
+        replays = [
+            e for e in controller.event_log if e.kind == "replay"
+        ]
+        assert replays
+        assert any(e.mat_name == "p0.hash" for e in replays)
+
+    def test_unmoved_mats_not_replayed(self, controller):
+        old_plan = controller.plan
+        new_plan = self.migrated(controller)
+        report = controller.rebind(new_plan)
+        stayed = [
+            name
+            for name in new_plan.placements
+            if old_plan.switch_of(name) == new_plan.switch_of(name)
+        ]
+        assert not (set(report.moved) & set(stayed))
+
+    def test_dropped_mat_rejected_with_clear_error(
+        self, six_programs, small_line
+    ):
+        from repro.core import Hermes
+
+        full = Hermes().deploy(six_programs, small_line)
+        controller = Controller(full.plan)
+        shrunk = Hermes().deploy(six_programs[:3], small_line)
+        report = controller.rebind(shrunk.plan)
+        dropped = sorted(
+            set(full.plan.placements) - set(shrunk.plan.placements)
+        )
+        assert list(report.dropped) == dropped
+        with pytest.raises(
+            ControllerError, match="dropped by a migration"
+        ):
+            controller.install_rule(dropped[0], self.rule())
+        # Rebinding back makes the MAT installable again.
+        controller.rebind(full.plan)
+        controller.install_rule("p3.hash", Rule(
+            matches=(
+                MatchSpec("ipv4.src_addr", MatchKind.EXACT, 1),
+            ),
+            action_name="hash_meta_p3_idx",
+        ))
+
+    def test_added_mats_reported(self, six_programs, small_line):
+        from repro.core import Hermes
+
+        small = Hermes().deploy(six_programs[:3], small_line)
+        controller = Controller(small.plan)
+        full = Hermes().deploy(six_programs, small_line)
+        report = controller.rebind(full.plan)
+        assert set(report.added) == (
+            set(full.plan.placements) - set(small.plan.placements)
+        )

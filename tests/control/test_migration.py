@@ -54,7 +54,21 @@ class TestMigration:
         assert orphaned <= moved
         for move in diff.moves:
             if move.mat_name in orphaned:
-                assert move.source == ""
+                assert move.source is None
+                assert move.forced
+
+    def test_forced_vs_optimization_split(self, wan_plan):
+        failed = wan_plan.occupied_switches()[0]
+        orphaned = set(wan_plan.mats_on(failed))
+        diff = MigrationPlanner().handle_switch_failure(wan_plan, failed)
+        forced = {m.mat_name for m in diff.forced_moves}
+        optimization = {m.mat_name for m in diff.optimization_moves}
+        assert forced >= orphaned
+        assert not (forced & optimization)
+        assert forced | optimization == {m.mat_name for m in diff.moves}
+        for move in diff.optimization_moves:
+            assert move.source is not None
+            assert move.source != move.destination
 
     def test_unaffected_failure_keeps_plan_cheap(self, wan_plan):
         # Failing a switch that hosts nothing must not force moves of
@@ -117,3 +131,35 @@ class TestMigration:
         other = Hermes().deploy(other_programs, wan_plan.network).plan
         with pytest.raises(DeploymentError, match="different MAT sets"):
             MigrationPlanner().diff(wan_plan, other)
+
+    def test_compute_moves_tolerates_workload_change(self, wan_plan):
+        # Unlike MigrationPlanner.diff, the lower-level helper works
+        # over the common MAT subset so a reconciler batch mixing a
+        # workload change with a failure still gets a move set.
+        from repro.control import compute_moves
+
+        programs = [
+            make_sketch_program(f"p{i}", index_bytes=2 + i)
+            for i in range(8)
+        ] + [make_sketch_program("extra")]
+        grown = Hermes().deploy(programs, wan_plan.network).plan
+        moves, unchanged = compute_moves(wan_plan, grown)
+        named = {m.mat_name for m in moves} | set(unchanged)
+        common = set(wan_plan.placements) & set(grown.placements)
+        assert named == common
+        for move in moves:
+            assert not move.forced  # no host vanished
+
+    def test_compute_moves_vanished_marks_forced(self, wan_plan):
+        from repro.control import compute_moves
+
+        victim = wan_plan.occupied_switches()[0]
+        diff = MigrationPlanner().handle_switch_failure(wan_plan, victim)
+        moves, _ = compute_moves(
+            wan_plan, diff.new_plan, vanished={victim}
+        )
+        forced = [m for m in moves if m.forced]
+        assert forced
+        assert {m.mat_name for m in forced} >= set(
+            wan_plan.mats_on(victim)
+        )

@@ -1,0 +1,166 @@
+"""Unit tests for churn scenarios: validity, determinism, round-trip."""
+
+import pytest
+
+from repro.network.generators import random_wan
+from repro.runtime import (
+    EventKind,
+    NetworkEvent,
+    Scenario,
+    ScenarioError,
+    batch_events,
+    generate_scenario,
+    read_scenario,
+    write_scenario,
+)
+
+
+@pytest.fixture
+def network():
+    return random_wan(12, 18, seed=4)
+
+
+class TestNetworkEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ScenarioError, match="unknown event kind"):
+            NetworkEvent(1.0, "switch_explode", "s0")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ScenarioError, match=">= 0"):
+            NetworkEvent(-1.0, EventKind.SWITCH_FAIL, "s0")
+
+    def test_link_target_parsing(self):
+        event = NetworkEvent(1.0, EventKind.LINK_LATENCY, "a|b", 5.0)
+        assert event.link == ("a", "b")
+        with pytest.raises(ScenarioError, match="not a link"):
+            _ = NetworkEvent(1.0, EventKind.SWITCH_FAIL, "a").link
+
+    def test_round_trip(self):
+        event = NetworkEvent(2.5, EventKind.SET_PROGRAMMABLE, "s3", 1.0)
+        assert NetworkEvent.from_dict(event.to_dict()) == event
+
+
+class TestScenario:
+    def test_requires_sorted_events(self):
+        events = (
+            NetworkEvent(2.0, EventKind.SWITCH_FAIL, "a"),
+            NetworkEvent(1.0, EventKind.SWITCH_FAIL, "b"),
+        )
+        with pytest.raises(ScenarioError, match="sorted"):
+            Scenario("x", 0, "real:2", "linear:3", events)
+
+    def test_file_round_trip(self, tmp_path, network):
+        scenario = generate_scenario(network, num_events=6, seed=1)
+        path = str(tmp_path / "scenario.json")
+        write_scenario(scenario, path)
+        loaded = read_scenario(path)
+        assert loaded == scenario
+        assert loaded.fingerprint() == scenario.fingerprint()
+
+    def test_schema_gate(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v9"}')
+        with pytest.raises(ScenarioError, match="not a scenario"):
+            read_scenario(str(path))
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            read_scenario(str(path))
+
+
+class TestGenerator:
+    def test_deterministic(self, network):
+        a = generate_scenario(network, num_events=10, seed=5)
+        b = generate_scenario(network, num_events=10, seed=5)
+        assert a == b
+        c = generate_scenario(network, num_events=10, seed=6)
+        assert a != c
+
+    def test_event_count_and_ordering(self, network):
+        scenario = generate_scenario(network, num_events=15, seed=2)
+        assert len(scenario.events) == 15
+        times = [e.time_s for e in scenario.events]
+        assert times == sorted(times)
+
+    def test_events_valid_against_state(self, network):
+        """The generator only emits events the live state admits."""
+        scenario = generate_scenario(network, num_events=30, seed=3)
+        live = set(network.switch_names)
+        failed = set()
+        deployed = set()
+        for event in scenario.events:
+            if event.kind == EventKind.SWITCH_FAIL:
+                assert event.target in live
+                live.discard(event.target)
+                failed.add(event.target)
+            elif event.kind == EventKind.SWITCH_RECOVER:
+                assert event.target in failed
+                failed.discard(event.target)
+                live.add(event.target)
+            elif event.kind == EventKind.LINK_LATENCY:
+                u, v = event.link
+                assert u in live and v in live
+                assert event.value >= 0
+            elif event.kind == EventKind.WORKLOAD_ADD:
+                assert event.target not in deployed
+                deployed.add(event.target)
+            elif event.kind == EventKind.WORKLOAD_REMOVE:
+                assert event.target in deployed
+                deployed.discard(event.target)
+
+    def test_keeps_two_hostable_switches(self, network):
+        scenario = generate_scenario(network, num_events=40, seed=7)
+        live = set(network.switch_names)
+        drained = set()
+        programmable = {
+            s.name for s in network.programmable_switches()
+        }
+        for event in scenario.events:
+            if event.kind == EventKind.SWITCH_FAIL:
+                live.discard(event.target)
+            elif event.kind == EventKind.SWITCH_RECOVER:
+                live.add(event.target)
+                drained.discard(event.target)
+            elif event.kind == EventKind.SWITCH_DRAIN:
+                drained.add(event.target)
+            elif event.kind == EventKind.SET_PROGRAMMABLE:
+                if event.value:
+                    programmable.add(event.target)
+                else:
+                    programmable.discard(event.target)
+            assert len((programmable & live) - drained) >= 2
+
+    def test_rejects_negative_count(self, network):
+        with pytest.raises(ValueError):
+            generate_scenario(network, num_events=-1, seed=0)
+
+
+class TestBatching:
+    def events(self, *times):
+        return [
+            NetworkEvent(t, EventKind.SWITCH_FAIL, f"s{i}")
+            for i, t in enumerate(times)
+        ]
+
+    def test_zero_debounce_isolates_events(self):
+        batches = batch_events(self.events(1.0, 1.0, 2.0), 0.0)
+        assert [len(b) for b in batches] == [1, 1, 1]
+
+    def test_burst_coalesces(self):
+        batches = batch_events(
+            self.events(1.0, 1.05, 1.1, 5.0), debounce_s=0.2
+        )
+        assert [len(b) for b in batches] == [3, 1]
+
+    def test_chained_gaps_extend_batch(self):
+        # Each neighbor is within the window even though first-to-last
+        # is not: debounce is hysteresis, not a fixed window.
+        batches = batch_events(
+            self.events(1.0, 1.15, 1.3, 1.45), debounce_s=0.2
+        )
+        assert [len(b) for b in batches] == [4]
+
+    def test_empty(self):
+        assert batch_events([], 1.0) == []

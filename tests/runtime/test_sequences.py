@@ -1,0 +1,175 @@
+"""Multi-event migration sequences and history-composition properties.
+
+Covers the churn patterns that stress plan-history consistency:
+back-to-back failures, failure followed by recovery (the deployment
+converges back to the original plan), and drain-then-fail of the same
+switch.  The property tests assert the store's serialization contract:
+every intermediate plan round-trips through ``repro.plan/v1``, and the
+per-step history diffs compose to the end-to-end diff.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Hermes
+from repro.network.generators import random_wan
+from repro.plan import plan_from_dict, plan_to_dict
+from repro.runtime import (
+    EventKind,
+    NetworkEvent,
+    Reconciler,
+    Scenario,
+    generate_scenario,
+)
+from tests.conftest import make_sketch_program
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_wan(12, 18, seed=4, num_stages=4)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [
+        make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(6)
+    ]
+
+
+def scenario_of(*events):
+    return Scenario(
+        name="seq",
+        seed=0,
+        workload_spec="sketches:6",
+        topology_spec="wan:12:18:4",
+        events=tuple(events),
+    )
+
+
+class TestSequences:
+    def test_back_to_back_failures(self, programs, network):
+        plan = Hermes().deploy(programs, network).plan
+        occupied = plan.occupied_switches()
+        scenario = scenario_of(
+            NetworkEvent(1.0, EventKind.SWITCH_FAIL, occupied[0]),
+            NetworkEvent(2.0, EventKind.SWITCH_FAIL, occupied[1]),
+        )
+        result = Reconciler(programs, network).run(scenario)
+        assert all(o.converged for o in result.outcomes)
+        assert len(result.store) == 3
+        survivors = result.final_plan.occupied_switches()
+        assert occupied[0] not in survivors
+        assert occupied[1] not in survivors
+        # Each step is a valid plan in its own right.
+        for version in result.store.versions:
+            version.plan.validate()
+
+    def test_failure_then_recovery_converges_back(
+        self, programs, network
+    ):
+        """Recovering the failed switch re-runs the same deterministic
+        heuristic on the original substrate: the plan converges back to
+        the initial one, fingerprint-identical, end-to-end diff empty."""
+        plan = Hermes().deploy(programs, network).plan
+        victim = plan.occupied_switches()[0]
+        scenario = scenario_of(
+            NetworkEvent(1.0, EventKind.SWITCH_FAIL, victim),
+            NetworkEvent(2.0, EventKind.SWITCH_RECOVER, victim),
+        )
+        result = Reconciler(programs, network).run(scenario)
+        assert all(o.converged for o in result.outcomes)
+        fingerprints = result.store.fingerprints()
+        assert fingerprints[0] == fingerprints[2]
+        assert result.store.end_to_end_diff().is_empty
+
+    def test_drain_then_fail_same_switch(self, programs, network):
+        """Draining evacuates the switch; failing it afterwards is a
+        placement no-op (nothing left to move)."""
+        plan = Hermes().deploy(programs, network).plan
+        victim = plan.occupied_switches()[0]
+        scenario = scenario_of(
+            NetworkEvent(1.0, EventKind.SWITCH_DRAIN, victim),
+            NetworkEvent(2.0, EventKind.SWITCH_FAIL, victim),
+        )
+        result = Reconciler(programs, network).run(scenario)
+        drain, fail = result.outcomes
+        assert drain.converged and fail.converged
+        assert drain.forced_moves > 0  # the drain evacuated the host
+        drained_plan = result.store.versions[1].plan
+        assert victim not in drained_plan.occupied_switches()
+        # The subsequent failure forces nothing: already evacuated.
+        assert fail.forced_moves == 0
+
+    def test_recovery_after_drain_restores(self, programs, network):
+        plan = Hermes().deploy(programs, network).plan
+        victim = plan.occupied_switches()[0]
+        scenario = scenario_of(
+            NetworkEvent(1.0, EventKind.SWITCH_DRAIN, victim),
+            NetworkEvent(2.0, EventKind.SWITCH_RECOVER, victim),
+        )
+        result = Reconciler(programs, network).run(scenario)
+        fingerprints = result.store.fingerprints()
+        assert fingerprints[0] == fingerprints[2]
+
+
+class TestHistoryProperties:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_intermediate_plans_round_trip(
+        self, programs, network, seed
+    ):
+        """Every plan version survives repro.plan/v1 serialization."""
+        scenario = generate_scenario(network, num_events=4, seed=seed)
+        result = Reconciler(programs, network).run(scenario)
+        for version in result.store.versions:
+            doc = plan_to_dict(version.plan)
+            restored = plan_from_dict(doc)
+            assert restored.fingerprint() == version.fingerprint
+            assert plan_to_dict(restored) == doc
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_history_diffs_compose(self, programs, network, seed):
+        """Consecutive diffs telescope to the end-to-end diff."""
+        scenario = generate_scenario(network, num_events=4, seed=seed)
+        result = Reconciler(programs, network).run(scenario)
+        diffs = result.store.diffs()
+        end = result.store.end_to_end_diff()
+
+        # Overhead deltas telescope.
+        assert sum(d.overhead_delta_bytes for d in diffs) == (
+            end.overhead_delta_bytes
+        )
+
+        # Final switch of every MAT follows the per-step move chain.
+        placement = {
+            name: result.store.versions[0].plan.switch_of(name)
+            for name in result.store.versions[0].plan.placements
+        }
+        for diff in diffs:
+            for change in diff.moved:
+                placement[change.mat_name] = change.new_switch
+            for name in diff.removed:
+                placement.pop(name, None)
+            for name in diff.added:
+                pass  # arrivals tracked below against the final plan
+        final_plan = result.final_plan
+        for name, switch in placement.items():
+            if name in final_plan.placements:
+                assert final_plan.switch_of(name) == switch
+
+        # A MAT the end-to-end diff reports as moved must have moved in
+        # at least one step (and vice versa for never-moved MATs).
+        stepped = set()
+        for diff in diffs:
+            stepped |= {c.mat_name for c in diff.moved}
+        assert {c.mat_name for c in end.moved} <= stepped

@@ -1,0 +1,100 @@
+"""Unit tests for the versioned plan store."""
+
+import json
+
+import pytest
+
+from repro.control import MigrationPlanner
+from repro.core import Hermes
+from repro.network.generators import random_wan
+from repro.plan import read_plan
+from repro.runtime import PlanStore
+from tests.conftest import make_sketch_program
+
+
+@pytest.fixture(scope="module")
+def plans():
+    """Three consecutive plans: initial, after a failure, after another."""
+    programs = [
+        make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(6)
+    ]
+    network = random_wan(12, 18, seed=4, num_stages=4)
+    first = Hermes().deploy(programs, network).plan
+    planner = MigrationPlanner()
+    second = planner.handle_switch_failure(
+        first, first.occupied_switches()[0]
+    ).new_plan
+    third = planner.handle_switch_failure(
+        second, second.occupied_switches()[0]
+    ).new_plan
+    return [first, second, third]
+
+
+@pytest.fixture
+def store(plans):
+    store = PlanStore()
+    store.append(plans[0], time_s=0.0, reason="initial")
+    store.append(plans[1], time_s=1.0, reason="replan")
+    store.append(plans[2], time_s=2.0, reason="replan")
+    return store
+
+
+class TestStore:
+    def test_versions_ordered(self, store, plans):
+        assert len(store) == 3
+        assert [v.version for v in store.versions] == [0, 1, 2]
+        assert [v.plan for v in store.versions] == plans
+        assert store.latest.plan is plans[2]
+
+    def test_fingerprints_match_plans(self, store, plans):
+        assert store.fingerprints() == [p.fingerprint() for p in plans]
+
+    def test_lookup_by_fingerprint(self, store, plans):
+        assert store.get(plans[1].fingerprint()) is plans[1]
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+
+    def test_consecutive_diffs(self, store):
+        diffs = store.diffs()
+        assert len(diffs) == 2
+        assert not diffs[0].is_empty
+        assert not diffs[1].is_empty
+
+    def test_history_digest_stable_and_sensitive(self, plans):
+        a, b = PlanStore(), PlanStore()
+        for s in (a, b):
+            s.append(plans[0], 0.0, "initial")
+            s.append(plans[1], 1.0, "replan")
+        assert a.history_digest() == b.history_digest()
+        b.append(plans[2], 2.0, "replan")
+        assert a.history_digest() != b.history_digest()
+
+    def test_empty_store(self):
+        store = PlanStore()
+        assert store.latest is None
+        assert len(store) == 0
+        with pytest.raises(ValueError):
+            store.end_to_end_diff()
+
+    def test_write_dir(self, store, plans, tmp_path):
+        directory = str(tmp_path / "plans")
+        paths = store.write_dir(directory)
+        assert len(paths) == 4  # 3 versions + history.json
+        # Every plan document round-trips through repro.plan/v1.
+        for path, plan in zip(paths[:3], plans):
+            loaded = read_plan(path)
+            assert loaded.fingerprint() == plan.fingerprint()
+        with open(paths[3]) as fh:
+            history = json.load(fh)
+        assert history["history_digest"] == store.history_digest()
+        assert [v["reason"] for v in history["versions"]] == [
+            "initial", "replan", "replan",
+        ]
+
+    def test_to_dict_summary(self, store):
+        doc = store.to_dict()
+        assert len(doc["versions"]) == 3
+        assert len(doc["diffs"]) == 2
+        for version in doc["versions"]:
+            assert "a_max_bytes" in version
+            assert "occupied_switches" in version
