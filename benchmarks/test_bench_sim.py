@@ -1,0 +1,143 @@
+"""Benchmark: vectorized batch engine vs the per-flow analytic loop.
+
+The batch engine's reason to exist is throughput: evaluating a 10^5-
+flow trace in a handful of NumPy array operations instead of 10^5
+Python-level ``analytic_fct`` calls.  This benchmark times both engines
+on the same :class:`~repro.simulation.spec.SimulationSpec` (best of
+``REPS`` runs each), asserts the documented >= 10x speedup, and records
+the engine-agreement deltas alongside the timings.
+
+Results are written to ``BENCH_sim.json`` at the repo root so the
+speedup contract is auditable across commits.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.simulation.engine import (
+    BATCH_REL_TOLERANCE,
+    AnalyticEngine,
+    BatchEngine,
+)
+from repro.simulation.netsim import uniform_path
+from repro.simulation.spec import SimulationSpec
+from repro.simulation.traces import TraceConfig, generate_trace
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_sim.json")
+
+#: Trace sizes swept by the benchmark; the contract is asserted on the
+#: largest (the ISSUE's 10^5-flow trace).
+SIZES = (10_000, 100_000)
+CONTRACT_SIZE = 100_000
+MIN_SPEEDUP = 10.0
+OVERHEAD_BYTES = 96
+REPS = 3
+
+
+def _time_best_of(fn, reps=REPS):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def sim_records():
+    """Loop vs batch on seeded traces, with agreement deltas."""
+    records = []
+    for num_flows in SIZES:
+        trace = generate_trace(17, TraceConfig(num_flows=num_flows))
+        spec = SimulationSpec.from_trace(
+            trace, uniform_path(5), OVERHEAD_BYTES
+        )
+        loop_engine = AnalyticEngine()
+        batch_engine = BatchEngine()
+        # Warm NumPy's first-import cost outside the timed region.
+        batch_engine.evaluate(spec)
+        loop_s, loop = _time_best_of(lambda: loop_engine.evaluate(spec))
+        batch_s, batch = _time_best_of(
+            lambda: batch_engine.evaluate(spec)
+        )
+        max_rel_delta = max(
+            abs(b - a) / a for a, b in zip(loop.fct_us, batch.fct_us)
+        )
+        records.append(
+            {
+                "flows": num_flows,
+                "overhead_bytes": OVERHEAD_BYTES,
+                "loop": {
+                    "engine": loop.engine,
+                    "wall_s": round(loop_s, 4),
+                },
+                "batch": {
+                    "engine": batch.engine,
+                    "wall_s": round(batch_s, 4),
+                },
+                "speedup": round(loop_s / max(batch_s, 1e-9), 2),
+                "max_rel_fct_delta": max_rel_delta,
+                "packets_equal": batch.num_packets == loop.num_packets,
+                "wire_bytes_equal": batch.wire_bytes == loop.wire_bytes,
+            }
+        )
+    payload = {
+        "contract": {
+            "flows": CONTRACT_SIZE,
+            "min_speedup": MIN_SPEEDUP,
+            "rel_tolerance": BATCH_REL_TOLERANCE,
+        },
+        "traces": records,
+    }
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def test_bench_sim_batch_speedup_contract(sim_records):
+    """>= 10x on the 10^5-flow trace — the engine's raison d'etre."""
+    (record,) = [
+        r for r in sim_records["traces"] if r["flows"] == CONTRACT_SIZE
+    ]
+    assert record["speedup"] >= MIN_SPEEDUP, record
+
+
+def test_bench_sim_engines_agree(sim_records):
+    """Speed must not cost correctness: per-flow agreement holds at
+    every size, and the integer columns are exactly equal."""
+    for record in sim_records["traces"]:
+        assert record["max_rel_fct_delta"] < BATCH_REL_TOLERANCE, record
+        assert record["packets_equal"], record
+        assert record["wire_bytes_equal"], record
+
+
+def test_bench_sim_report(sim_records):
+    from conftest import record_report
+
+    rows = [
+        f"Batch vs per-flow-loop evaluation (wall seconds, best of {REPS})",
+        f"{'flows':>8} {'loop s':>8} {'batch s':>9} {'speedup':>8} "
+        f"{'max rel delta':>14}",
+    ]
+    for record in sim_records["traces"]:
+        rows.append(
+            f"{record['flows']:>8} "
+            f"{record['loop']['wall_s']:>8.3f} "
+            f"{record['batch']['wall_s']:>9.4f} "
+            f"{record['speedup']:>7.2f}x "
+            f"{record['max_rel_fct_delta']:>14.2e}"
+        )
+    contract = sim_records["contract"]
+    rows.append(
+        f"contract: >= {contract['min_speedup']:.0f}x at "
+        f"{contract['flows']} flows, "
+        f"rel tolerance {contract['rel_tolerance']:.0e}"
+    )
+    record_report("\n".join(rows))
+    assert os.path.exists(_REPORT_PATH)

@@ -15,6 +15,9 @@ Run any paper experiment or an ad-hoc deployment without writing code:
     python -m repro churn run --workload real:10 --topology wan:16:24 \
         --seed 3 --events 8 --scenario-out churn.json
     python -m repro churn replay churn.json
+    python -m repro simulate --workload real:10 --topology zoo:3 \
+        --flows 100000 --engine batch
+    python -m repro simulate --overhead 48 --engine exact
 
 Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
@@ -222,6 +225,132 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     raise AssertionError(args.plan_command)  # pragma: no cover
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """The ``simulate`` subcommand: spec + engine, end to end.
+
+    Without ``--overhead`` a deployment is computed first (Hermes, like
+    ``deploy``) and the spec is derived from the resulting plan's real
+    routed pairs; with ``--overhead N`` the classic scalar uniform-path
+    model is used directly.  ``--flows N`` swaps the single-message
+    model for a seeded heavy-tailed trace of N flows.
+    """
+    import json
+
+    from repro.experiments.reporting import Table
+    from repro.simulation.engine import (
+        EngineUnavailableError,
+        get_engine,
+    )
+    from repro.simulation.spec import (
+        E2E_HOPS,
+        SimulationSpec,
+        TrafficModel,
+    )
+    from repro.simulation.traces import TraceConfig, generate_trace
+    from repro.telemetry import Recorder, attached
+
+    trace = (
+        generate_trace(
+            args.trace_seed, TraceConfig(num_flows=args.flows)
+        )
+        if args.flows
+        else None
+    )
+    traffic = TrafficModel(
+        packet_payload_bytes=args.payload,
+        message_bytes=args.message_bytes,
+    )
+    if args.overhead is not None:
+        if trace is None:
+            spec = SimulationSpec.uniform(
+                args.overhead,
+                packet_payload_bytes=args.payload,
+                message_bytes=args.message_bytes,
+            )
+        else:
+            from repro.simulation.netsim import uniform_path
+
+            spec = SimulationSpec.from_trace(
+                trace,
+                uniform_path(E2E_HOPS),
+                args.overhead,
+                packet_payload_bytes=args.payload,
+            )
+    else:
+        from repro.core import Hermes
+
+        programs = parse_workload(args.workload, seed=args.seed)
+        network = parse_topology(args.topology, seed=args.seed)
+        hermes = Hermes(
+            mode=args.mode,
+            time_limit_s=args.time_limit,
+            solver_profile=args.solver_profile,
+        )
+        plan = hermes.deploy(programs, network).plan
+        print(
+            f"deployed {len(plan.placements)} MATs on "
+            f"{plan.num_occupied_switches()} switches "
+            f"(A_max {plan.max_metadata_bytes()} B)"
+        )
+        spec = SimulationSpec.from_plan(
+            plan, network, traffic=traffic, trace=trace
+        )
+
+    recorder = Recorder()
+    try:
+        with attached(recorder):
+            result = get_engine(args.engine).evaluate(spec)
+    except EngineUnavailableError as exc:
+        print(f"engine unavailable: {exc}")
+        return 1
+    if args.journal:
+        from repro.experiments.runner.telemetry import JournalWriter
+
+        with JournalWriter(args.journal) as journal:
+            for event in recorder.events:
+                journal.write(event)
+
+    table = Table(
+        title=f"simulate: {spec.source} via {result.engine} engine",
+        headers=["metric", "value"],
+    )
+    summary = {
+        "engine": result.engine,
+        "source": spec.source,
+        "flows": result.num_flows,
+        "paths": len(spec.paths),
+        "mean_fct_us": result.mean_fct_us,
+        "p99_fct_us": result.p99_fct_us,
+        "mean_slowdown": result.mean_slowdown,
+        "worst_fct_ratio": result.fct_ratio,
+        "worst_goodput_ratio": result.goodput_ratio,
+        "total_wire_mb": result.total_wire_bytes / 1e6,
+        "wall_ms": result.wall_s * 1e3,
+    }
+    table.add_row(["flows", summary["flows"]])
+    table.add_row(["paths", summary["paths"]])
+    table.add_row(["mean FCT (us)", f"{summary['mean_fct_us']:.1f}"])
+    table.add_row(["p99 FCT (us)", f"{summary['p99_fct_us']:.1f}"])
+    table.add_row(["mean slowdown", f"{summary['mean_slowdown']:.4f}"])
+    table.add_row(
+        ["worst FCT ratio", f"{summary['worst_fct_ratio']:.4f}"]
+    )
+    table.add_row(
+        ["worst goodput ratio", f"{summary['worst_goodput_ratio']:.4f}"]
+    )
+    table.add_row(
+        ["wire bytes (MB)", f"{summary['total_wire_mb']:.2f}"]
+    )
+    table.add_row(["wall (ms)", f"{summary['wall_ms']:.1f}"])
+    print(table.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote summary to {args.json}")
+    return 0
+
+
 def _cmd_churn(args: argparse.Namespace) -> int:
     """The ``churn run|replay|report`` lifecycle subcommands."""
     import json
@@ -244,6 +373,10 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load report: {exc}")
             return 1
+        # Attach (or recompute, when --engine is explicit) the FCT
+        # inflation columns over the saved A_max trajectory.
+        if args.engine or not report.has_traffic:
+            report.attach_traffic(engine=args.engine or "analytic")
         print(report.render())
         return 0
 
@@ -281,7 +414,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         programs, network, policy=policy, prepare_fn=seed_rules
     )
     result = reconciler.run(scenario)
-    report = result.report()
+    report = result.report(engine=args.engine)
     print(report.render())
     if args.report_out:
         with open(args.report_out, "w") as fh:
@@ -491,6 +624,20 @@ def _add_solver_profile_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flag(p: argparse.ArgumentParser, default) -> None:
+    """The ``--engine`` knob shared by simulate and the churn commands."""
+    p.add_argument(
+        "--engine",
+        choices=("exact", "analytic", "batch"),
+        default=default,
+        help=(
+            "traffic evaluation engine: 'exact' per-packet DES, "
+            "'analytic' closed form (default semantics), 'batch' "
+            "NumPy-vectorized closed form for large traces"
+        ),
+    )
+
+
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:
     """The parallel-runner flag set shared by every experiment command."""
     p.add_argument(
@@ -669,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="exit 1 when any event batch failed to converge",
         )
+        _add_engine_flag(p, default="analytic")
 
     cr = churn_sub.add_parser(
         "run", help="generate a seeded scenario and reconcile through it"
@@ -705,6 +853,67 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="pretty-print a saved disruption report"
     )
     cq.add_argument("report", help="report JSON path")
+    _add_engine_flag(cq, default=None)
+
+    sim = sub.add_parser(
+        "simulate",
+        help="evaluate end-to-end traffic impact of a deployment",
+    )
+    sim.add_argument("--workload", default="real:10")
+    sim.add_argument("--topology", default="linear:3")
+    sim.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for synthetic workloads and random WAN topologies",
+    )
+    sim.add_argument(
+        "--mode", choices=("heuristic", "optimal"), default="heuristic"
+    )
+    sim.add_argument("--time-limit", type=float, default=30.0)
+    _add_solver_profile_flag(sim)
+    _add_engine_flag(sim, default="analytic")
+    sim.add_argument(
+        "--overhead",
+        type=int,
+        default=None,
+        help=(
+            "skip deployment and evaluate this scalar per-packet "
+            "overhead on the uniform 5-hop path"
+        ),
+    )
+    sim.add_argument(
+        "--flows",
+        type=int,
+        default=0,
+        help=(
+            "evaluate a seeded heavy-tailed trace of this many flows "
+            "(0 = one full-size message per coordinating pair)"
+        ),
+    )
+    sim.add_argument(
+        "--trace-seed", type=int, default=11, help="trace RNG seed"
+    )
+    sim.add_argument(
+        "--payload",
+        type=int,
+        default=1024,
+        help="nominal per-packet payload bytes",
+    )
+    sim.add_argument(
+        "--message-bytes",
+        type=int,
+        default=1_000_000,
+        help="message size for the non-trace flow model",
+    )
+    sim.add_argument(
+        "--json", default=None, help="write the summary JSON here"
+    )
+    sim.add_argument(
+        "--journal",
+        default=None,
+        help="append sim.* telemetry JSONL to this file",
+    )
 
     return parser
 
@@ -717,6 +926,8 @@ def main(argv: Sequence[str] = None) -> int:
         return _cmd_plan(args)
     if args.command == "churn":
         return _cmd_churn(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     return _cmd_experiment(args)
 
 

@@ -117,6 +117,16 @@ def main(points: Optional[List[Exp1Point]] = None) -> str:
         ),
         _pivot(points, "fct_ratio", "Fig. 5(c): normalized FCT"),
         _pivot(points, "goodput_ratio", "Fig. 5(d): normalized goodput"),
+        _pivot(
+            points,
+            "plan_fct_ratio",
+            "Fig. 5(c'): plan-aware normalized FCT (routed pairs)",
+        ),
+        _pivot(
+            points,
+            "plan_goodput_ratio",
+            "Fig. 5(d'): plan-aware normalized goodput (routed pairs)",
+        ),
     ]
     output = "\n\n".join(t.render() for t in out)
     print(output)

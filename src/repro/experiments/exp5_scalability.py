@@ -109,6 +109,16 @@ def main(points: Optional[List[Exp5Point]] = None) -> str:
         ),
         _pivot(points, "fct_ratio", "Fig. 9(c): normalized FCT"),
         _pivot(points, "goodput_ratio", "Fig. 9(d): normalized goodput"),
+        _pivot(
+            points,
+            "plan_fct_ratio",
+            "Fig. 9(c'): plan-aware normalized FCT (routed pairs)",
+        ),
+        _pivot(
+            points,
+            "plan_goodput_ratio",
+            "Fig. 9(d'): plan-aware normalized goodput (routed pairs)",
+        ),
     ]
     output = "\n\n".join(t.render() for t in tables)
     print(output)

@@ -17,10 +17,9 @@ from repro.experiments.harness import E2E_HOPS
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentRunner
 from repro.experiments.reporting import Table
-from repro.simulation.flow import Flow
-from repro.simulation.metrics import normalized_against
-from repro.simulation.netsim import FlowSimulator, analytic_fct, uniform_path
+from repro.simulation.engine import get_engine
 from repro.simulation.packet import BASE_HEADER_BYTES
+from repro.simulation.spec import SimulationSpec
 
 #: The paper's sweep: 28 to 108 bytes.
 OVERHEAD_SWEEP = (28, 48, 68, 88, 108)
@@ -40,33 +39,31 @@ class Fig2Row:
 def _size_rows(
     job: Tuple[int, Tuple[int, ...], int, int, bool]
 ) -> List[Fig2Row]:
-    """The sweep for one packet size (module-level: pool-safe)."""
+    """The sweep for one packet size (module-level: pool-safe).
+
+    One :class:`SimulationSpec` per packet size — a flow per overhead
+    on the shared uniform path — dispatched to the exact DES or the
+    analytic engine.  The differential tests pin the analytic numbers
+    bit-for-bit to the legacy hand-built-flow loop.
+    """
     packet_size, overheads, message_bytes, hops, use_des = job
-    path = uniform_path(hops)
-    simulator = FlowSimulator(path)
     payload = max(packet_size - BASE_HEADER_BYTES, 1)
-    baseline_flow = Flow(0, message_bytes, payload, overhead_bytes=0)
-    baseline = (
-        simulator.run(baseline_flow)
-        if use_des
-        else analytic_fct(baseline_flow, path)
+    spec = SimulationSpec.uniform_sweep(
+        overheads,
+        packet_payload_bytes=payload,
+        hops=hops,
+        message_bytes=message_bytes,
     )
-    rows: List[Fig2Row] = []
-    for overhead in overheads:
-        flow = Flow(1, message_bytes, payload, overhead_bytes=overhead)
-        metrics = (
-            simulator.run(flow) if use_des else analytic_fct(flow, path)
+    result = get_engine("exact" if use_des else "analytic").evaluate(spec)
+    return [
+        Fig2Row(
+            packet_size=packet_size,
+            overhead_bytes=overhead,
+            fct_ratio=result.fct_ratios[i],
+            goodput_ratio=result.goodput_ratios[i],
         )
-        norm = normalized_against(metrics, baseline)
-        rows.append(
-            Fig2Row(
-                packet_size=packet_size,
-                overhead_bytes=overhead,
-                fct_ratio=norm.fct_ratio,
-                goodput_ratio=norm.goodput_ratio,
-            )
-        )
-    return rows
+        for i, overhead in enumerate(overheads)
+    ]
 
 
 def run(

@@ -30,19 +30,18 @@ from repro.dataplane.program import Program
 from repro.milp.branch_bound import DEFAULT_PROFILE
 from repro.network.paths import PathEnumerator
 from repro.network.topology import Network
-from repro.simulation.flow import Flow
-from repro.simulation.metrics import normalized_against
-from repro.simulation.netsim import analytic_fct, uniform_path
+from repro.plan.artifact import DeploymentError
+from repro.simulation.engine import get_engine, overhead_impact
+from repro.simulation.flow import MIN_PAYLOAD_BYTES  # noqa: F401  (compat)
+from repro.simulation.spec import (  # noqa: F401  (re-exported)
+    E2E_HOPS,
+    E2E_MESSAGE_BYTES,
+    SimulationSpec,
+    TrafficModel,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.runner.executor import ExperimentRunner
-
-#: Message size used by the end-to-end impact model: 1 MB transfers,
-#: large enough that pacing (not propagation) dominates.
-E2E_MESSAGE_BYTES = 1_000_000
-#: The paper's DCN path length (§II-B: "a flow typically traverses
-#: five switches").
-E2E_HOPS = 5
 
 
 @dataclass
@@ -56,6 +55,13 @@ class DeploymentRecord:
     occupied_switches: int
     fct_ratio: float = 1.0
     goodput_ratio: float = 1.0
+    #: Plan-aware end-to-end metrics: the same normalization evaluated
+    #: over the plan's *actual* routed pairs (per-pair hop chains,
+    #: per-pair overhead bytes) instead of the scalar-A_max uniform
+    #: path.  Equal to the scalar ratios when the plan carries no
+    #: routing (or no coordinating pairs worse than A_max).
+    plan_fct_ratio: float = 1.0
+    plan_goodput_ratio: float = 1.0
 
     @property
     def solve_time_ms(self) -> float:
@@ -81,6 +87,8 @@ class DeploymentRecord:
             "occupied_switches": self.occupied_switches,
             "fct_ratio": self.fct_ratio,
             "goodput_ratio": self.goodput_ratio,
+            "plan_fct_ratio": self.plan_fct_ratio,
+            "plan_goodput_ratio": self.plan_goodput_ratio,
         }
 
 
@@ -125,14 +133,6 @@ def default_frameworks(
     return frameworks
 
 
-#: Minimum payload a packet must still carry.  Overhead-oblivious
-#: deployments can produce metadata headers beyond the whole MTU; real
-#: deployments would fragment the metadata across packets, which we
-#: model by letting the wire size exceed the nominal MTU while the
-#: payload floor keeps goodput finite (and terrible, as it should be).
-MIN_PAYLOAD_BYTES = 64
-
-
 def end_to_end_impact(
     overhead_bytes: int,
     packet_payload_bytes: int = 1024,
@@ -144,28 +144,47 @@ def end_to_end_impact(
     Both flows (with and without metadata) are pushed through the same
     store-and-forward path; ratios are relative to the zero-overhead
     baseline, exactly like Fig. 2's normalization.
+
+    Now a thin wrapper over the spec+engine pipeline
+    (:func:`repro.simulation.engine.overhead_impact`); the
+    differential tests pin it bit-for-bit to the legacy
+    hand-built-flow implementation.
     """
-    path = uniform_path(hops)
-    baseline_flow = Flow(
-        0, message_bytes, packet_payload_bytes, overhead_bytes=0
+    return overhead_impact(
+        overhead_bytes,
+        packet_payload_bytes=packet_payload_bytes,
+        hops=hops,
+        message_bytes=message_bytes,
     )
-    mtu = max(
-        baseline_flow.mtu,
-        overhead_bytes + baseline_flow.header_bytes + MIN_PAYLOAD_BYTES,
-    )
-    baseline = analytic_fct(baseline_flow, path)
-    measured = analytic_fct(
-        Flow(
-            1,
-            message_bytes,
-            packet_payload_bytes,
-            overhead_bytes=overhead_bytes,
-            mtu=mtu,
-        ),
-        path,
-    )
-    norm = normalized_against(measured, baseline)
-    return norm.fct_ratio, norm.goodput_ratio
+
+
+def plan_end_to_end_impact(
+    plan,
+    network: Network,
+    packet_payload_bytes: int = 1024,
+    engine: str = "analytic",
+) -> Tuple[float, float]:
+    """Plan-aware (fct_ratio, goodput_ratio): worst pair over the
+    plan's real routed hop chains and per-pair overhead bytes.
+
+    Falls back to the scalar :func:`end_to_end_impact` of the plan's
+    ``A_max`` when the plan carries no routing for a coordinating pair
+    (legacy plans deserialized from old caches).
+    """
+    try:
+        spec = SimulationSpec.from_plan(
+            plan,
+            network,
+            traffic=TrafficModel(
+                packet_payload_bytes=packet_payload_bytes
+            ),
+        )
+    except DeploymentError:
+        return end_to_end_impact(
+            plan.max_metadata_bytes(), packet_payload_bytes
+        )
+    result = get_engine(engine).evaluate(spec)
+    return result.fct_ratio, result.goodput_ratio
 
 
 def run_single_deployment(
@@ -190,9 +209,13 @@ def run_single_deployment(
     """
     result: FrameworkResult = framework.deploy(programs, network, paths)
     fct_ratio, goodput_ratio = 1.0, 1.0
+    plan_fct_ratio, plan_goodput_ratio = 1.0, 1.0
     if with_end_to_end:
         fct_ratio, goodput_ratio = end_to_end_impact(
             result.overhead_bytes, packet_payload_bytes
+        )
+        plan_fct_ratio, plan_goodput_ratio = plan_end_to_end_impact(
+            result.plan, network, packet_payload_bytes
         )
     record = DeploymentRecord(
         framework=framework.name,
@@ -202,6 +225,8 @@ def run_single_deployment(
         occupied_switches=result.plan.num_occupied_switches(),
         fct_ratio=fct_ratio,
         goodput_ratio=goodput_ratio,
+        plan_fct_ratio=plan_fct_ratio,
+        plan_goodput_ratio=plan_goodput_ratio,
     )
     if return_plan:
         return record, result.plan.to_dict()

@@ -32,8 +32,11 @@ from repro.network.topology import Network
 #: frameworks grew a ``solver_profile`` attribute, so their
 #: fingerprints changed shape.  v3: cache entries store the serialized
 #: deployment plan (``repro.plan`` canonical document) alongside the
-#: record, so v2 entries lack the plan payload.
-CACHE_KEY_VERSION = 3
+#: record, so v2 entries lack the plan payload.  v4: records carry the
+#: plan-aware end-to-end metrics (``plan_fct_ratio`` /
+#: ``plan_goodput_ratio``), so v3 entries would deserialize with stale
+#: defaults.
+CACHE_KEY_VERSION = 4
 
 
 def _canon(value: Any) -> Any:

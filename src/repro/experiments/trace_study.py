@@ -42,8 +42,14 @@ def run(
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
     trace_seed: int = 11,
     trace_config: TraceConfig = TraceConfig(),
+    engine: str = "analytic",
 ) -> List[TraceStudyRow]:
-    """Deploy, then weight each framework's overhead by the trace."""
+    """Deploy, then weight each framework's overhead by the trace.
+
+    ``engine`` picks the evaluation engine for the trace (the batch
+    engine makes 10^5+-flow traces practical; the default analytic
+    engine matches the historical numbers bit-for-bit).
+    """
     programs = workload(num_programs, seed=7)
     network = topology_zoo_wan(topology_id)
     frameworks = (
@@ -57,7 +63,9 @@ def run(
     rows: List[TraceStudyRow] = []
     for framework in frameworks:
         result = framework.deploy(programs, network)
-        metrics = evaluate_trace(trace, path, result.overhead_bytes)
+        metrics = evaluate_trace(
+            trace, path, result.overhead_bytes, engine=engine
+        )
         rows.append(
             TraceStudyRow(
                 framework=framework.name,

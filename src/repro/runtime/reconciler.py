@@ -155,11 +155,19 @@ class ReconcileResult:
         assert latest is not None
         return latest.plan
 
-    def report(self):
-        """The disruption metrics (:class:`repro.runtime.DisruptionReport`)."""
+    def report(self, engine: Optional[str] = None):
+        """The disruption metrics (:class:`repro.runtime.DisruptionReport`).
+
+        With an ``engine`` name the report's traffic-impact columns
+        are populated by evaluating FCT inflation over the A_max
+        trajectory (see :meth:`DisruptionReport.attach_traffic`).
+        """
         from repro.runtime.report import DisruptionReport
 
-        return DisruptionReport.from_result(self)
+        report = DisruptionReport.from_result(self)
+        if engine:
+            report.attach_traffic(engine=engine)
+        return report
 
 
 def transient_amax(

@@ -85,6 +85,14 @@ class DisruptionReport:
     peak_transient_amax_bytes: int
     trajectory: List[TrajectoryPoint] = field(default_factory=list)
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Traffic impact (set by :meth:`attach_traffic`): FCT inflation of
+    #: the scalar end-to-end model evaluated over the A_max trajectory,
+    #: including the transient-coexistence windows.  ``traffic_engine``
+    #: is empty until attached.
+    traffic_engine: str = ""
+    initial_fct_ratio: float = 1.0
+    final_fct_ratio: float = 1.0
+    peak_transient_fct_ratio: float = 1.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -197,6 +205,10 @@ class DisruptionReport:
             "peak_transient_amax_bytes": self.peak_transient_amax_bytes,
             "trajectory": [p.to_dict() for p in self.trajectory],
             "rows": self.rows,
+            "traffic_engine": self.traffic_engine,
+            "initial_fct_ratio": self.initial_fct_ratio,
+            "final_fct_ratio": self.final_fct_ratio,
+            "peak_transient_fct_ratio": self.peak_transient_fct_ratio,
         }
 
     @classmethod
@@ -233,7 +245,69 @@ class DisruptionReport:
                 for p in doc.get("trajectory", [])
             ],
             rows=list(doc.get("rows", [])),
+            traffic_engine=str(doc.get("traffic_engine", "")),
+            initial_fct_ratio=float(doc.get("initial_fct_ratio", 1.0)),
+            final_fct_ratio=float(doc.get("final_fct_ratio", 1.0)),
+            peak_transient_fct_ratio=float(
+                doc.get("peak_transient_fct_ratio", 1.0)
+            ),
         )
+
+    # ------------------------------------------------------------------
+    def attach_traffic(
+        self,
+        engine: str = "analytic",
+        packet_payload_bytes: int = 1024,
+    ) -> "DisruptionReport":
+        """Evaluate FCT inflation over the A_max trajectory.
+
+        Every distinct overhead level the scenario visited — steady
+        states *and* the transient-coexistence windows where old and
+        new placements piggyback metadata simultaneously — is pushed
+        through the end-to-end traffic model
+        (:func:`repro.simulation.engine.overhead_impact`) with the
+        chosen engine.  Per-batch rows gain ``fct_ratio`` /
+        ``transient_fct_ratio`` keys and the report gains the
+        initial/final/peak-transient summary columns.  Returns
+        ``self`` (mutated) for chaining.
+        """
+        from repro.simulation.engine import get_engine, overhead_impact
+
+        resolved = get_engine(engine)
+        cache: Dict[int, float] = {}
+
+        def inflation(amax_bytes: int) -> float:
+            if amax_bytes not in cache:
+                cache[amax_bytes] = overhead_impact(
+                    amax_bytes,
+                    packet_payload_bytes=packet_payload_bytes,
+                    engine=resolved,
+                )[0]
+            return cache[amax_bytes]
+
+        for row in self.rows:
+            if row.get("converged"):
+                row["fct_ratio"] = inflation(int(row["new_amax_bytes"]))
+                row["transient_fct_ratio"] = inflation(
+                    int(row["transient_amax_bytes"])
+                )
+        self.traffic_engine = resolved.name
+        self.initial_fct_ratio = inflation(self.initial_amax_bytes)
+        self.final_fct_ratio = inflation(self.final_amax_bytes)
+        self.peak_transient_fct_ratio = max(
+            (
+                inflation(point.amax_bytes)
+                for point in self.trajectory
+                if point.transient
+            ),
+            default=inflation(self.peak_transient_amax_bytes),
+        )
+        return self
+
+    @property
+    def has_traffic(self) -> bool:
+        """Whether :meth:`attach_traffic` populated the FCT columns."""
+        return bool(self.traffic_engine)
 
     # ------------------------------------------------------------------
     def render(self) -> str:
@@ -256,30 +330,49 @@ class DisruptionReport:
             f"convergence mean {self.mean_convergence_s * 1e3:.1f} ms, "
             f"max {self.max_convergence_s * 1e3:.1f} ms",
             f"History digest: {self.history_digest[:16]}...",
-            "",
         ]
-        table = Table(
-            title="Per-batch disruption",
-            headers=[
-                "batch", "t (s)", "events", "converged", "forced",
-                "opt", "rules", "A_max (B)", "transient (B)",
-                "conv (ms)",
-            ],
-        )
-        for row in self.rows:
-            table.add_row(
-                [
-                    row["batch_index"],
-                    f"{row['time_s']:.2f}",
-                    ",".join(e["kind"] for e in row["events"]),
-                    "yes" if row["converged"] else "NO",
-                    row["forced_moves"],
-                    row["optimization_moves"],
-                    row["rules_replayed"],
-                    row["new_amax_bytes"],
-                    row["transient_amax_bytes"],
-                    f"{row['convergence_time_s'] * 1e3:.1f}",
-                ]
+        if self.has_traffic:
+            lines.append(
+                f"Traffic impact ({self.traffic_engine} engine): "
+                f"FCT x{self.initial_fct_ratio:.4f} -> "
+                f"x{self.final_fct_ratio:.4f} "
+                f"(peak transient x{self.peak_transient_fct_ratio:.4f})"
             )
+        lines.append("")
+        headers = [
+            "batch", "t (s)", "events", "converged", "forced",
+            "opt", "rules", "A_max (B)", "transient (B)",
+            "conv (ms)",
+        ]
+        if self.has_traffic:
+            headers += ["FCT x", "transient FCT x"]
+        table = Table(title="Per-batch disruption", headers=headers)
+        for row in self.rows:
+            cells = [
+                row["batch_index"],
+                f"{row['time_s']:.2f}",
+                ",".join(e["kind"] for e in row["events"]),
+                "yes" if row["converged"] else "NO",
+                row["forced_moves"],
+                row["optimization_moves"],
+                row["rules_replayed"],
+                row["new_amax_bytes"],
+                row["transient_amax_bytes"],
+                f"{row['convergence_time_s'] * 1e3:.1f}",
+            ]
+            if self.has_traffic:
+                cells += [
+                    (
+                        f"{row['fct_ratio']:.4f}"
+                        if "fct_ratio" in row
+                        else "-"
+                    ),
+                    (
+                        f"{row['transient_fct_ratio']:.4f}"
+                        if "transient_fct_ratio" in row
+                        else "-"
+                    ),
+                ]
+            table.add_row(cells)
         lines.append(table.render())
         return "\n".join(lines)

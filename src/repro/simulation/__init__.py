@@ -17,12 +17,34 @@ This package provides both:
 
 from repro.simulation.events import EventQueue, Simulator
 from repro.simulation.packet import Packet
-from repro.simulation.flow import Flow, packetize
+from repro.simulation.flow import (
+    Flow,
+    MIN_PAYLOAD_BYTES,
+    flow_pair,
+    packetize,
+    widened_mtu,
+)
 from repro.simulation.netsim import (
     FlowSimulator,
     HopSpec,
     analytic_fct,
     uniform_path,
+)
+from repro.simulation.spec import (
+    FlowSpec,
+    SimulationSpec,
+    TrafficModel,
+    hop_chain,
+)
+from repro.simulation.engine import (
+    AnalyticEngine,
+    BatchEngine,
+    Engine,
+    EngineUnavailableError,
+    ExactEngine,
+    SimulationResult,
+    get_engine,
+    overhead_impact,
 )
 from repro.simulation.metrics import FlowMetrics, normalized_against
 from repro.simulation.traces import (
@@ -39,23 +61,38 @@ from repro.simulation.interpreter import (
 )
 
 __all__ = [
+    "AnalyticEngine",
+    "BatchEngine",
+    "Engine",
+    "EngineUnavailableError",
     "EventQueue",
+    "ExactEngine",
     "ExecutionTrace",
     "Flow",
     "FlowMetrics",
     "FlowSimulator",
+    "FlowSpec",
     "HopSpec",
+    "MIN_PAYLOAD_BYTES",
     "MissingMetadataError",
     "Packet",
     "PlanInterpreter",
+    "SimulationResult",
+    "SimulationSpec",
     "Simulator",
     "TraceConfig",
     "TraceFlow",
     "TraceMetrics",
+    "TrafficModel",
     "analytic_fct",
     "evaluate_trace",
+    "flow_pair",
     "generate_trace",
+    "get_engine",
+    "hop_chain",
     "normalized_against",
+    "overhead_impact",
     "packetize",
     "uniform_path",
+    "widened_mtu",
 ]

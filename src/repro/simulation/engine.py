@@ -1,0 +1,331 @@
+"""Pluggable evaluation engines for :class:`SimulationSpec`.
+
+One spec, three ways to evaluate it:
+
+* :class:`ExactEngine` — the per-packet discrete-event
+  :class:`~repro.simulation.netsim.FlowSimulator`; exact for short
+  last packets and heterogeneous hops, and priced accordingly;
+* :class:`AnalyticEngine` — the closed-form
+  :func:`~repro.simulation.netsim.analytic_fct` pipeline model,
+  evaluated flow by flow (this is the legacy semantics every
+  experiment used, preserved bit-for-bit);
+* :class:`BatchEngine` — the same closed form vectorized with NumPy
+  over whole traces (10^5–10^6 flows in one shot); agrees with the
+  analytic engine within :data:`BATCH_REL_TOLERANCE` (the summation
+  order differs, nothing else).
+
+Every evaluation emits a ``sim.evaluate`` telemetry event (engine
+chosen, flows evaluated, wall time) so journals record which path
+produced which numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Type, Union
+
+from repro import telemetry
+from repro.simulation.flow import MIN_PAYLOAD_BYTES
+from repro.simulation.netsim import FlowSimulator, analytic_fct
+from repro.simulation.spec import (
+    E2E_HOPS,
+    E2E_MESSAGE_BYTES,
+    SimulationSpec,
+)
+
+#: Relative tolerance within which the batch engine's FCT/goodput agree
+#: with the per-flow analytic engine.  Both evaluate the identical
+#: closed form; the batch path hoists the per-hop sum out of the
+#: per-flow loop (``w * sum(8/r)`` instead of ``sum(w * 8/r)``), which
+#: reorders float additions — a last-ulp effect, bounded far below
+#: this documented tolerance.
+BATCH_REL_TOLERANCE = 1e-6
+
+
+class EngineUnavailableError(RuntimeError):
+    """The requested engine cannot run in this environment."""
+
+
+@dataclass
+class SimulationResult:
+    """Columnar outcome of evaluating one spec.
+
+    Per-flow columns are index-aligned with ``spec.flows``.  Every
+    measured flow is paired with a zero-overhead baseline twin on the
+    same path, so normalized ratios (Fig. 2's y-axes) are available
+    per flow and in aggregate.
+    """
+
+    engine: str
+    source: str
+    fct_us: List[float]
+    goodput_gbps: List[float]
+    num_packets: List[int]
+    wire_bytes: List[int]
+    baseline_fct_us: List[float]
+    baseline_goodput_gbps: List[float]
+    wall_s: float = 0.0
+    _fct_ratios: List[float] = field(
+        default=None, repr=False, compare=False
+    )  # type: ignore[assignment]
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.fct_us)
+
+    @property
+    def fct_ratios(self) -> List[float]:
+        """Per-flow FCT inflation against the zero-overhead twin."""
+        if self._fct_ratios is None:
+            self._fct_ratios = [
+                m / b for m, b in zip(self.fct_us, self.baseline_fct_us)
+            ]
+        return self._fct_ratios
+
+    @property
+    def goodput_ratios(self) -> List[float]:
+        return [
+            m / b
+            for m, b in zip(self.goodput_gbps, self.baseline_goodput_gbps)
+        ]
+
+    @property
+    def fct_ratio(self) -> float:
+        """Worst per-flow FCT inflation (pairs carry A_max semantics)."""
+        return max(self.fct_ratios)
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Worst per-flow goodput retention."""
+        return min(self.goodput_ratios)
+
+    @property
+    def mean_fct_us(self) -> float:
+        return sum(self.fct_us) / len(self.fct_us)
+
+    @property
+    def p99_fct_us(self) -> float:
+        ordered = sorted(self.fct_us)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean per-flow FCT ratio — the "small flows pay more" stat."""
+        ratios = self.fct_ratios
+        return sum(ratios) / len(ratios)
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return sum(self.wire_bytes)
+
+
+class Engine:
+    """Evaluation strategy for a :class:`SimulationSpec`."""
+
+    name = "abstract"
+
+    def evaluate(self, spec: SimulationSpec) -> SimulationResult:
+        """Evaluate the spec, with ``sim.evaluate`` telemetry."""
+        start = time.perf_counter()
+        result = self._evaluate(spec)
+        result.wall_s = time.perf_counter() - start
+        telemetry.emit(
+            "sim.evaluate",
+            engine=self.name,
+            source=spec.source,
+            flows=spec.num_flows,
+            paths=len(spec.paths),
+            wall_s=result.wall_s,
+        )
+        return result
+
+    def _evaluate(self, spec: SimulationSpec) -> SimulationResult:
+        raise NotImplementedError
+
+    def _from_metrics_pairs(
+        self, spec: SimulationSpec, pairs: Sequence[Tuple]
+    ) -> SimulationResult:
+        """Assemble columns from (measured, baseline) FlowMetrics."""
+        return SimulationResult(
+            engine=self.name,
+            source=spec.source,
+            fct_us=[m.fct_us for m, _ in pairs],
+            goodput_gbps=[m.goodput_gbps for m, _ in pairs],
+            num_packets=[m.num_packets for m, _ in pairs],
+            wire_bytes=[m.wire_bytes_per_hop for m, _ in pairs],
+            baseline_fct_us=[b.fct_us for _, b in pairs],
+            baseline_goodput_gbps=[b.goodput_gbps for _, b in pairs],
+        )
+
+
+class AnalyticEngine(Engine):
+    """Per-flow closed form — the legacy semantics, bit-for-bit."""
+
+    name = "analytic"
+
+    def _evaluate(self, spec: SimulationSpec) -> SimulationResult:
+        pairs = []
+        for flow in spec.flows:
+            path = spec.paths[flow.path_id]
+            baseline, measured = spec.flow_objects(flow)
+            pairs.append(
+                (analytic_fct(measured, path), analytic_fct(baseline, path))
+            )
+        return self._from_metrics_pairs(spec, pairs)
+
+
+class ExactEngine(Engine):
+    """Per-packet discrete-event simulation of every flow."""
+
+    name = "exact"
+
+    def _evaluate(self, spec: SimulationSpec) -> SimulationResult:
+        simulators = [FlowSimulator(path) for path in spec.paths]
+        pairs = []
+        for flow in spec.flows:
+            sim = simulators[flow.path_id]
+            baseline, measured = spec.flow_objects(flow)
+            pairs.append((sim.run(measured), sim.run(baseline)))
+        return self._from_metrics_pairs(spec, pairs)
+
+
+class BatchEngine(Engine):
+    """Vectorized closed form over the whole spec in one shot.
+
+    Requires NumPy; raises :class:`EngineUnavailableError` when the
+    environment lacks it (the analytic engine is the drop-in
+    fallback — identical model, per-flow loop).
+    """
+
+    name = "batch"
+
+    def _evaluate(self, spec: SimulationSpec) -> SimulationResult:
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise EngineUnavailableError(
+                "the batch engine needs numpy; use --engine analytic "
+                "for the equivalent per-flow closed form"
+            ) from exc
+
+        tm = spec.traffic
+        payload, hdr, mtu = tm.packet_payload_bytes, tm.header_bytes, tm.mtu
+        # Per-path pipeline constants: for uniform per-flow wire size w,
+        # FCT = w * sum(8/r) + sum(l) + (N - 1) * w * max(8/r).
+        inv_rates = [
+            [8.0 / (hop.rate_gbps * 1000.0) for hop in path]
+            for path in spec.paths
+        ]
+        tx_sum = np.array([sum(r) for r in inv_rates])
+        tx_max = np.array([max(r) for r in inv_rates])
+        lat_sum = np.array(
+            [sum(h.latency_us for h in p) for p in spec.paths]
+        )
+        pid = np.fromiter(
+            (f.path_id for f in spec.flows), dtype=np.int64,
+            count=len(spec.flows),
+        )
+        msg = np.fromiter(
+            (f.message_bytes for f in spec.flows), dtype=np.int64,
+            count=len(spec.flows),
+        )
+        ov = np.fromiter(
+            (f.overhead_bytes for f in spec.flows), dtype=np.int64,
+            count=len(spec.flows),
+        )
+
+        def pipeline(eff, extra):
+            """FCT / goodput / packets / wire for one overhead column."""
+            packets = -(-msg // eff)
+            wire_pkt = eff + extra
+            fct = (
+                wire_pkt * tx_sum[pid]
+                + lat_sum[pid]
+                + (packets - 1) * (wire_pkt * tx_max[pid])
+            )
+            goodput = msg * 8.0 / (fct * 1000.0)
+            wire = (packets - 1) * wire_pkt + (
+                msg - (packets - 1) * eff
+            ) + extra
+            return fct, goodput, packets, wire
+
+        widened = np.maximum(mtu, ov + hdr + MIN_PAYLOAD_BYTES)
+        eff_measured = np.minimum(payload, widened - ov - hdr)
+        fct_m, gp_m, n_m, wire_m = pipeline(eff_measured, ov + hdr)
+        eff_baseline = min(payload, mtu - hdr)
+        fct_b, gp_b, _n, _wire = pipeline(
+            np.full_like(msg, eff_baseline), hdr
+        )
+        return SimulationResult(
+            engine=self.name,
+            source=spec.source,
+            fct_us=fct_m.tolist(),
+            goodput_gbps=gp_m.tolist(),
+            num_packets=n_m.tolist(),
+            wire_bytes=wire_m.tolist(),
+            baseline_fct_us=fct_b.tolist(),
+            baseline_goodput_gbps=gp_b.tolist(),
+        )
+
+
+ENGINES: Dict[str, Type[Engine]] = {
+    AnalyticEngine.name: AnalyticEngine,
+    ExactEngine.name: ExactEngine,
+    BatchEngine.name: BatchEngine,
+}
+
+#: The default engine everywhere an ``--engine`` knob is not exposed.
+DEFAULT_ENGINE = AnalyticEngine.name
+
+
+def get_engine(engine: Union[str, Engine] = DEFAULT_ENGINE) -> Engine:
+    """Resolve an engine name (or pass an instance through)."""
+    if isinstance(engine, Engine):
+        return engine
+    try:
+        return ENGINES[engine]()
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{sorted(ENGINES)}"
+        ) from None
+
+
+def overhead_impact(
+    overhead_bytes: int,
+    packet_payload_bytes: int = 1024,
+    hops: int = E2E_HOPS,
+    message_bytes: int = E2E_MESSAGE_BYTES,
+    engine: Union[str, Engine] = DEFAULT_ENGINE,
+) -> Tuple[float, float]:
+    """Scalar overhead -> (fct_ratio, goodput_ratio), uniform path.
+
+    The spec+engine successor of the legacy ``end_to_end_impact``:
+    same uniform 5-hop path, same MTU widening, same normalization —
+    reproduced bit-for-bit by the analytic engine (locked in by the
+    differential tests).
+    """
+    spec = SimulationSpec.uniform(
+        overhead_bytes,
+        packet_payload_bytes=packet_payload_bytes,
+        hops=hops,
+        message_bytes=message_bytes,
+    )
+    result = get_engine(engine).evaluate(spec)
+    return result.fct_ratio, result.goodput_ratio
+
+
+__all__ = [
+    "BATCH_REL_TOLERANCE",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "AnalyticEngine",
+    "BatchEngine",
+    "Engine",
+    "EngineUnavailableError",
+    "ExactEngine",
+    "SimulationResult",
+    "get_engine",
+    "overhead_impact",
+]

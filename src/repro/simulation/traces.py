@@ -18,10 +18,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence, Union
 
-from repro.simulation.flow import Flow
-from repro.simulation.netsim import HopSpec, analytic_fct
+from repro.simulation.netsim import HopSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import Engine
 
 
 @dataclass(frozen=True)
@@ -101,49 +103,30 @@ def evaluate_trace(
     path: Sequence[HopSpec],
     overhead_bytes: int,
     packet_payload_bytes: int = 1024,
+    engine: Union[str, "Engine"] = "analytic",
 ) -> TraceMetrics:
-    """Closed-form evaluation of every flow under an overhead setting.
+    """Evaluate every flow of a trace under an overhead setting.
 
-    Flows are evaluated independently (the closed form models an
-    uncongested path; queueing interactions are out of scope, as in the
-    paper's own testbed methodology of one flow at a time).
+    Flows are evaluated independently (the model assumes an
+    uncongested path; queueing interactions are out of scope, as in
+    the paper's own testbed methodology of one flow at a time).
+
+    Now a thin wrapper building a :class:`SimulationSpec` and
+    dispatching it to the chosen engine (``"analytic"`` reproduces the
+    legacy per-flow closed-form loop bit-for-bit; ``"batch"`` is the
+    vectorized fast path for large traces; ``"exact"`` runs the
+    packet-level DES).
     """
-    if not trace:
-        raise ValueError("empty trace")
-    fcts: List[float] = []
-    slowdowns: List[float] = []
-    wire = 0
-    for flow in trace:
-        loaded = analytic_fct(
-            Flow(
-                flow.flow_id,
-                flow.message_bytes,
-                packet_payload_bytes,
-                overhead_bytes=overhead_bytes,
-                mtu=max(
-                    1500,
-                    overhead_bytes + 54 + 64,
-                ),
-            ),
-            path,
-        )
-        baseline = analytic_fct(
-            Flow(
-                flow.flow_id,
-                flow.message_bytes,
-                packet_payload_bytes,
-                overhead_bytes=0,
-            ),
-            path,
-        )
-        fcts.append(loaded.fct_us)
-        slowdowns.append(loaded.fct_us / baseline.fct_us)
-        wire += loaded.wire_bytes_per_hop
-    fcts_sorted = sorted(fcts)
-    p99_index = min(len(fcts_sorted) - 1, int(0.99 * len(fcts_sorted)))
+    from repro.simulation.engine import get_engine
+    from repro.simulation.spec import SimulationSpec
+
+    spec = SimulationSpec.from_trace(
+        trace, path, overhead_bytes, packet_payload_bytes
+    )
+    result = get_engine(engine).evaluate(spec)
     return TraceMetrics(
-        mean_fct_us=sum(fcts) / len(fcts),
-        p99_fct_us=fcts_sorted[p99_index],
-        mean_slowdown=sum(slowdowns) / len(slowdowns),
-        total_wire_bytes=wire,
+        mean_fct_us=result.mean_fct_us,
+        p99_fct_us=result.p99_fct_us,
+        mean_slowdown=result.mean_slowdown,
+        total_wire_bytes=result.total_wire_bytes,
     )

@@ -333,6 +333,97 @@ class TestPlanCommands:
         assert code == 2
 
 
+class TestSimulateCommand:
+    """The traffic-simulation surface: repro simulate."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.engine == "analytic"
+        assert args.overhead is None
+        assert args.flows == 0
+
+    def test_scalar_overhead_mode(self, capsys):
+        assert main(["simulate", "--overhead", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "simulate: uniform via analytic engine" in out
+        assert "worst FCT ratio" in out
+
+    def test_scalar_engines_agree(self, tmp_path, capsys):
+        import json
+
+        paths = {}
+        for engine in ("exact", "analytic", "batch"):
+            paths[engine] = tmp_path / f"{engine}.json"
+            assert (
+                main(
+                    [
+                        "simulate",
+                        "--overhead",
+                        "200",
+                        "--engine",
+                        engine,
+                        "--json",
+                        str(paths[engine]),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        ratios = {
+            engine: json.loads(path.read_text())["worst_fct_ratio"]
+            for engine, path in paths.items()
+        }
+        assert ratios["batch"] == pytest.approx(
+            ratios["analytic"], rel=1e-6
+        )
+        assert ratios["exact"] == pytest.approx(
+            ratios["analytic"], rel=1e-2
+        )
+
+    def test_plan_aware_trace_mode(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sim.json"
+        journal = tmp_path / "sim.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "real:6",
+                "--topology",
+                "linear:3",
+                "--flows",
+                "500",
+                "--engine",
+                "batch",
+                "--json",
+                str(out_path),
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(out_path.read_text())
+        assert summary["engine"] == "batch"
+        assert summary["flows"] == 500
+        assert summary["source"].startswith("plan:")
+        assert summary["worst_fct_ratio"] >= 1.0
+        events = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line.strip()
+        ]
+        assert any(e.get("kind") == "sim.evaluate" for e in events)
+        capsys.readouterr()
+
+    def test_churn_report_gains_engine_flag(self):
+        args = build_parser().parse_args(
+            ["churn", "report", "r.json", "--engine", "batch"]
+        )
+        assert args.engine == "batch"
+
+
 @pytest.mark.slow
 def test_quick_report(capsys):
     assert main(["report"]) == 0

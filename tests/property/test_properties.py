@@ -20,8 +20,20 @@ from repro.milp.solution import SolveStatus
 from repro.network.generators import random_wan
 from repro.network.paths import k_shortest_paths
 from repro.network.switch import Switch
-from repro.simulation.flow import Flow, packet_list
-from repro.simulation.netsim import FlowSimulator, analytic_fct, uniform_path
+from repro.simulation.flow import (
+    BASE_HEADER_BYTES,
+    DEFAULT_MTU,
+    Flow,
+    flow_pair,
+    packet_list,
+    widened_mtu,
+)
+from repro.simulation.netsim import (
+    FlowSimulator,
+    HopSpec,
+    analytic_fct,
+    uniform_path,
+)
 from repro.tdg.dependencies import DependencyType
 from repro.tdg.graph import Tdg
 
@@ -338,6 +350,125 @@ class TestFlowProperties:
         fct_lo = analytic_fct(Flow(1, 100_000, 512, overhead_bytes=lo), path)
         fct_hi = analytic_fct(Flow(1, 100_000, 512, overhead_bytes=hi), path)
         assert fct_lo.fct_us <= fct_hi.fct_us
+
+
+# ----------------------------------------------------------------------
+# Packetization edge cases under MTU widening
+# ----------------------------------------------------------------------
+class TestPacketizationEdges:
+    @given(st.integers(min_value=1383, max_value=100_000))
+    def test_crushing_overhead_kills_flow_but_not_flow_pair(
+        self, overhead
+    ):
+        """Past the widening boundary the nominal MTU leaves <1 payload
+        byte, so a bare Flow is unconstructable — but flow_pair widens
+        the MTU per the shared rule and always succeeds."""
+        assume(
+            DEFAULT_MTU - BASE_HEADER_BYTES - overhead < 1
+        )  # genuinely crushing
+        with pytest.raises(ValueError):
+            Flow(1, 1_000, 1024, overhead_bytes=overhead)
+        _, measured = flow_pair(1_000, 1024, overhead)
+        assert measured.effective_payload_bytes >= 1
+        assert measured.mtu == widened_mtu(overhead)
+
+    @given(
+        st.integers(min_value=64, max_value=1446),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_zero_byte_messages_rejected(self, payload, overhead):
+        with pytest.raises(ValueError):
+            Flow(1, 0, payload, overhead_bytes=overhead)
+        with pytest.raises(ValueError):
+            flow_pair(0, payload, overhead)
+
+    @given(
+        st.integers(min_value=64, max_value=1446),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_one_byte_message_is_one_packet(self, payload, overhead):
+        baseline, measured = flow_pair(1, payload, overhead)
+        for flow in (baseline, measured):
+            assert flow.num_packets == 1
+            (packet,) = packet_list(flow)
+            assert packet.payload_bytes == 1
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=64, max_value=1446),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_exact_multiple_fills_every_packet(
+        self, packets, payload, overhead
+    ):
+        """A message that is an exact multiple of the effective payload
+        packetizes with no runt: every packet, including the last, is
+        full, and the count matches the closed form exactly."""
+        flow = Flow(1, 1, payload, overhead_bytes=overhead)
+        eff = flow.effective_payload_bytes
+        full = Flow(
+            1, packets * eff, payload, overhead_bytes=overhead
+        )
+        assert full.num_packets == packets
+        assert all(
+            p.payload_bytes == eff for p in packet_list(full)
+        )
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous hop chains: DES vs closed form
+# ----------------------------------------------------------------------
+@st.composite
+def hetero_path(draw, max_hops=5):
+    """A store-and-forward path with per-hop rates and latencies."""
+    hops = draw(st.integers(min_value=1, max_value=max_hops))
+    return [
+        HopSpec(
+            rate_gbps=draw(
+                st.sampled_from((1.0, 2.5, 10.0, 40.0, 100.0))
+            ),
+            latency_us=draw(
+                st.floats(min_value=0.0, max_value=500.0)
+            ),
+        )
+        for _ in range(hops)
+    ]
+
+
+class TestHeterogeneousPathProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hetero_path(),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=128, max_value=1024),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_des_matches_analytic_on_mixed_hops(
+        self, path, packets, payload, overhead
+    ):
+        """The closed form sum(tx) + sum(lat) + (N-1)*max(tx) must hold
+        on paths whose hops differ in both rate and latency, not just
+        the uniform chains the legacy harness used."""
+        flow = Flow(1, packets * payload, payload, overhead_bytes=overhead)
+        des = FlowSimulator(path).run(flow)
+        closed = analytic_fct(flow, path)
+        assert des.fct_us == pytest.approx(closed.fct_us, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hetero_path(),
+        st.integers(min_value=1, max_value=200_000),
+        st.integers(min_value=128, max_value=1024),
+    )
+    def test_uneven_division_never_beats_the_bound(
+        self, path, message, payload
+    ):
+        """With a runt last packet the closed form (which prices every
+        packet at full wire size) is an upper bound on the DES."""
+        flow = Flow(1, message, payload)
+        des = FlowSimulator(path).run(flow)
+        closed = analytic_fct(flow, path)
+        assert des.fct_us <= closed.fct_us * (1 + 1e-9)
 
 
 # ----------------------------------------------------------------------
