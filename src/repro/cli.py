@@ -18,6 +18,8 @@ Run any paper experiment or an ad-hoc deployment without writing code:
     python -m repro simulate --workload real:10 --topology zoo:3 \
         --flows 100000 --engine batch
     python -m repro simulate --overhead 48 --engine exact
+    python -m repro simulate --overhead 48 --flows 5000 \
+        --engine contention --load 0.9
 
 Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
@@ -299,7 +301,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     recorder = Recorder()
     try:
         with attached(recorder):
-            result = get_engine(args.engine).evaluate(spec)
+            result = get_engine(_resolve_engine(args)).evaluate(spec)
     except EngineUnavailableError as exc:
         print(f"engine unavailable: {exc}")
         return 1
@@ -327,6 +329,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "total_wire_mb": result.total_wire_bytes / 1e6,
         "wall_ms": result.wall_s * 1e3,
     }
+    if result.wait_us is not None:
+        summary["load"] = result.load
+        summary["mean_wait_us"] = result.mean_wait_us
+        summary["max_wait_us"] = result.max_wait_us
+        summary["contended_fraction"] = result.contended_fraction
     table.add_row(["flows", summary["flows"]])
     table.add_row(["paths", summary["paths"]])
     table.add_row(["mean FCT (us)", f"{summary['mean_fct_us']:.1f}"])
@@ -341,6 +348,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row(
         ["wire bytes (MB)", f"{summary['total_wire_mb']:.2f}"]
     )
+    if result.wait_us is not None:
+        table.add_row(["offered load", f"{summary['load']:.2f}"])
+        table.add_row(
+            ["mean wait (us)", f"{summary['mean_wait_us']:.2f}"]
+        )
+        table.add_row(
+            ["max wait (us)", f"{summary['max_wait_us']:.2f}"]
+        )
+        table.add_row(
+            ["contended flows", f"{summary['contended_fraction']:.0%}"]
+        )
     table.add_row(["wall (ms)", f"{summary['wall_ms']:.1f}"])
     print(table.render())
     if args.json:
@@ -373,10 +391,12 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load report: {exc}")
             return 1
-        # Attach (or recompute, when --engine is explicit) the FCT
-        # inflation columns over the saved A_max trajectory.
-        if args.engine or not report.has_traffic:
-            report.attach_traffic(engine=args.engine or "analytic")
+        # Attach (or recompute, when --engine/--load is explicit) the
+        # FCT inflation columns over the saved A_max trajectory.
+        if args.engine or args.load is not None or not report.has_traffic:
+            report.attach_traffic(
+                engine=args.engine or "analytic", load=args.load
+            )
         print(report.render())
         return 0
 
@@ -414,7 +434,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         programs, network, policy=policy, prepare_fn=seed_rules
     )
     result = reconciler.run(scenario)
-    report = result.report(engine=args.engine)
+    report = result.report(engine=args.engine, load=args.load)
     print(report.render())
     if args.report_out:
         with open(args.report_out, "w") as fh:
@@ -625,17 +645,41 @@ def _add_solver_profile_flag(p: argparse.ArgumentParser) -> None:
 
 
 def _add_engine_flag(p: argparse.ArgumentParser, default) -> None:
-    """The ``--engine`` knob shared by simulate and the churn commands."""
+    """The ``--engine``/``--load`` knobs shared by simulate and churn."""
     p.add_argument(
         "--engine",
-        choices=("exact", "analytic", "batch"),
+        choices=("exact", "analytic", "batch", "contention"),
         default=default,
         help=(
             "traffic evaluation engine: 'exact' per-packet DES, "
             "'analytic' closed form (default semantics), 'batch' "
-            "NumPy-vectorized closed form for large traces"
+            "NumPy-vectorized closed form for large traces, "
+            "'contention' shared output-queue model with queueing "
+            "(the only engine where flows interact; see --load)"
         ),
     )
+    p.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help=(
+            "offered bottleneck utilization for the contention engine "
+            "(implies --engine contention when set; >1 models "
+            "overload; loads <= 0.1 are provably contention-free and "
+            "match the exact DES)"
+        ),
+    )
+
+
+def _resolve_engine(args: argparse.Namespace, default: str = "analytic"):
+    """``--engine``/``--load`` -> an engine name or configured instance."""
+    name = getattr(args, "engine", None)
+    load = getattr(args, "load", None)
+    if name == "contention" or load is not None:
+        from repro.simulation.contention import ContentionEngine
+
+        return ContentionEngine(load=load)
+    return name or default
 
 
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:

@@ -155,18 +155,26 @@ class ReconcileResult:
         assert latest is not None
         return latest.plan
 
-    def report(self, engine: Optional[str] = None):
+    def report(
+        self,
+        engine: Optional[str] = None,
+        load: Optional[float] = None,
+    ):
         """The disruption metrics (:class:`repro.runtime.DisruptionReport`).
 
         With an ``engine`` name the report's traffic-impact columns
         are populated by evaluating FCT inflation over the A_max
         trajectory (see :meth:`DisruptionReport.attach_traffic`).
+        A ``load`` selects the contention engine's congestion model
+        (queueing included in the inflation ratios).
         """
         from repro.runtime.report import DisruptionReport
 
         report = DisruptionReport.from_result(self)
-        if engine:
-            report.attach_traffic(engine=engine)
+        if engine or load is not None:
+            report.attach_traffic(
+                engine=engine or "contention", load=load
+            )
         return report
 
 

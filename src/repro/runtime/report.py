@@ -21,7 +21,7 @@ table for the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.experiments.reporting import Table
 
@@ -88,8 +88,13 @@ class DisruptionReport:
     #: Traffic impact (set by :meth:`attach_traffic`): FCT inflation of
     #: the scalar end-to-end model evaluated over the A_max trajectory,
     #: including the transient-coexistence windows.  ``traffic_engine``
-    #: is empty until attached.
+    #: is empty until attached.  When the contention engine priced the
+    #: trajectory, ``traffic_load`` records the offered bottleneck
+    #: utilization (0.0 = independent-flow engine, no queueing) and the
+    #: fct ratios include the metadata's queueing amplification — the
+    #: congestion columns.
     traffic_engine: str = ""
+    traffic_load: float = 0.0
     initial_fct_ratio: float = 1.0
     final_fct_ratio: float = 1.0
     peak_transient_fct_ratio: float = 1.0
@@ -206,6 +211,7 @@ class DisruptionReport:
             "trajectory": [p.to_dict() for p in self.trajectory],
             "rows": self.rows,
             "traffic_engine": self.traffic_engine,
+            "traffic_load": self.traffic_load,
             "initial_fct_ratio": self.initial_fct_ratio,
             "final_fct_ratio": self.final_fct_ratio,
             "peak_transient_fct_ratio": self.peak_transient_fct_ratio,
@@ -246,6 +252,7 @@ class DisruptionReport:
             ],
             rows=list(doc.get("rows", [])),
             traffic_engine=str(doc.get("traffic_engine", "")),
+            traffic_load=float(doc.get("traffic_load", 0.0)),
             initial_fct_ratio=float(doc.get("initial_fct_ratio", 1.0)),
             final_fct_ratio=float(doc.get("final_fct_ratio", 1.0)),
             peak_transient_fct_ratio=float(
@@ -258,6 +265,8 @@ class DisruptionReport:
         self,
         engine: str = "analytic",
         packet_payload_bytes: int = 1024,
+        load: Optional[float] = None,
+        flows: int = 64,
     ) -> "DisruptionReport":
         """Evaluate FCT inflation over the A_max trajectory.
 
@@ -268,12 +277,25 @@ class DisruptionReport:
         (:func:`repro.simulation.engine.overhead_impact`) with the
         chosen engine.  Per-batch rows gain ``fct_ratio`` /
         ``transient_fct_ratio`` keys and the report gains the
-        initial/final/peak-transient summary columns.  Returns
+        initial/final/peak-transient summary columns.
+
+        A ``load`` (or ``engine="contention"``) switches to the
+        congestion model: ``flows`` copies of the message share the
+        uniform path's output queue at that utilization, so the ratios
+        price the metadata's *queueing amplification* on top of its
+        pipeline tax and ``traffic_load`` records the knob.  Returns
         ``self`` (mutated) for chaining.
         """
         from repro.simulation.engine import get_engine, overhead_impact
 
-        resolved = get_engine(engine)
+        population = 1
+        if load is not None or engine == "contention":
+            from repro.simulation.contention import ContentionEngine
+
+            resolved = ContentionEngine(load=load)
+            population = flows
+        else:
+            resolved = get_engine(engine)
         cache: Dict[int, float] = {}
 
         def inflation(amax_bytes: int) -> float:
@@ -282,6 +304,7 @@ class DisruptionReport:
                     amax_bytes,
                     packet_payload_bytes=packet_payload_bytes,
                     engine=resolved,
+                    flows=population,
                 )[0]
             return cache[amax_bytes]
 
@@ -292,6 +315,14 @@ class DisruptionReport:
                     int(row["transient_amax_bytes"])
                 )
         self.traffic_engine = resolved.name
+        if population > 1:
+            from repro.simulation.contention import DEFAULT_LOAD
+
+            self.traffic_load = (
+                load if load is not None else DEFAULT_LOAD
+            )
+        else:
+            self.traffic_load = 0.0
         self.initial_fct_ratio = inflation(self.initial_amax_bytes)
         self.final_fct_ratio = inflation(self.final_amax_bytes)
         self.peak_transient_fct_ratio = max(
@@ -332,8 +363,14 @@ class DisruptionReport:
             f"History digest: {self.history_digest[:16]}...",
         ]
         if self.has_traffic:
+            congestion = (
+                f" at load {self.traffic_load:.2f}"
+                if self.traffic_load
+                else ""
+            )
             lines.append(
-                f"Traffic impact ({self.traffic_engine} engine): "
+                f"Traffic impact ({self.traffic_engine} engine"
+                f"{congestion}): "
                 f"FCT x{self.initial_fct_ratio:.4f} -> "
                 f"x{self.final_fct_ratio:.4f} "
                 f"(peak transient x{self.peak_transient_fct_ratio:.4f})"

@@ -46,6 +46,13 @@ from repro.simulation.engine import (
     get_engine,
     overhead_impact,
 )
+from repro.simulation.contention import (
+    CONTENTION_FREE_LOAD,
+    CONTENTION_REL_TOLERANCE,
+    DEFAULT_LOAD,
+    ContentionEngine,
+    congested_overhead_impact,
+)
 from repro.simulation.metrics import FlowMetrics, normalized_against
 from repro.simulation.traces import (
     TraceConfig,
@@ -63,6 +70,10 @@ from repro.simulation.interpreter import (
 __all__ = [
     "AnalyticEngine",
     "BatchEngine",
+    "CONTENTION_FREE_LOAD",
+    "CONTENTION_REL_TOLERANCE",
+    "ContentionEngine",
+    "DEFAULT_LOAD",
     "Engine",
     "EngineUnavailableError",
     "EventQueue",
@@ -85,6 +96,7 @@ __all__ = [
     "TraceMetrics",
     "TrafficModel",
     "analytic_fct",
+    "congested_overhead_impact",
     "evaluate_trace",
     "flow_pair",
     "generate_trace",

@@ -1,6 +1,6 @@
 """Pluggable evaluation engines for :class:`SimulationSpec`.
 
-One spec, three ways to evaluate it:
+One spec, four ways to evaluate it:
 
 * :class:`ExactEngine` — the per-packet discrete-event
   :class:`~repro.simulation.netsim.FlowSimulator`; exact for short
@@ -12,7 +12,13 @@ One spec, three ways to evaluate it:
 * :class:`BatchEngine` — the same closed form vectorized with NumPy
   over whole traces (10^5–10^6 flows in one shot); agrees with the
   analytic engine within :data:`BATCH_REL_TOLERANCE` (the summation
-  order differs, nothing else).
+  order differs, nothing else);
+* :class:`~repro.simulation.contention.ContentionEngine` — the only
+  engine where flows *interact*: per-path output-queue contention at
+  an ``--load`` utilization knob, vectorized to 10^6–10^7 flows, and
+  differentially locked to the exact DES at contention-free loads
+  (see :mod:`repro.simulation.contention`; it registers itself here
+  on import).
 
 Every evaluation emits a ``sim.evaluate`` telemetry event (engine
 chosen, flows evaluated, wall time) so journals record which path
@@ -23,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Type, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from repro import telemetry
 from repro.simulation.flow import MIN_PAYLOAD_BYTES
@@ -66,6 +72,12 @@ class SimulationResult:
     baseline_fct_us: List[float]
     baseline_goodput_gbps: List[float]
     wall_s: float = 0.0
+    #: Per-flow queueing wait (µs) folded into ``fct_us``; ``None`` for
+    #: the contention-oblivious engines, all-zero at contention-free
+    #: loads.  ``load`` records the offered bottleneck utilization the
+    #: contention engine evaluated at (0.0 = flows were independent).
+    wait_us: Optional[List[float]] = None
+    load: float = 0.0
     _fct_ratios: List[float] = field(
         default=None, repr=False, compare=False
     )  # type: ignore[assignment]
@@ -118,6 +130,26 @@ class SimulationResult:
     @property
     def total_wire_bytes(self) -> int:
         return sum(self.wire_bytes)
+
+    @property
+    def mean_wait_us(self) -> float:
+        """Mean queueing wait (0.0 for contention-oblivious engines)."""
+        if not self.wait_us:
+            return 0.0
+        return sum(self.wait_us) / len(self.wait_us)
+
+    @property
+    def max_wait_us(self) -> float:
+        if not self.wait_us:
+            return 0.0
+        return max(self.wait_us)
+
+    @property
+    def contended_fraction(self) -> float:
+        """Fraction of flows that queued at all."""
+        if not self.wait_us:
+            return 0.0
+        return sum(1 for w in self.wait_us if w > 0.0) / len(self.wait_us)
 
 
 class Engine:
@@ -279,12 +311,31 @@ ENGINES: Dict[str, Type[Engine]] = {
 DEFAULT_ENGINE = AnalyticEngine.name
 
 
-def get_engine(engine: Union[str, Engine] = DEFAULT_ENGINE) -> Engine:
-    """Resolve an engine name (or pass an instance through)."""
+def _ensure_plugins() -> None:
+    """Import engines that live in their own modules.
+
+    :class:`~repro.simulation.contention.ContentionEngine` registers
+    itself in :data:`ENGINES` when its module loads; deferring that
+    import keeps this module cycle-free (contention subclasses
+    :class:`Engine`).
+    """
+    from repro.simulation import contention  # noqa: F401
+
+
+def get_engine(
+    engine: Union[str, Engine] = DEFAULT_ENGINE, **kwargs
+) -> Engine:
+    """Resolve an engine name (or pass an instance through).
+
+    Keyword arguments go to the engine constructor — e.g.
+    ``get_engine("contention", load=0.9)``.
+    """
     if isinstance(engine, Engine):
         return engine
+    if engine not in ENGINES:
+        _ensure_plugins()
     try:
-        return ENGINES[engine]()
+        return ENGINES[engine](**kwargs)
     except KeyError:
         raise ValueError(
             f"unknown engine {engine!r}; choose from "
@@ -298,19 +349,24 @@ def overhead_impact(
     hops: int = E2E_HOPS,
     message_bytes: int = E2E_MESSAGE_BYTES,
     engine: Union[str, Engine] = DEFAULT_ENGINE,
+    flows: int = 1,
 ) -> Tuple[float, float]:
     """Scalar overhead -> (fct_ratio, goodput_ratio), uniform path.
 
     The spec+engine successor of the legacy ``end_to_end_impact``:
     same uniform 5-hop path, same MTU widening, same normalization —
     reproduced bit-for-bit by the analytic engine (locked in by the
-    differential tests).
+    differential tests).  ``flows`` replicates the message into a
+    population sharing the path — a no-op for the independent-flow
+    engines, but what gives the contention engine a queue to fill
+    (see :func:`repro.simulation.contention.congested_overhead_impact`).
     """
     spec = SimulationSpec.uniform(
         overhead_bytes,
         packet_payload_bytes=packet_payload_bytes,
         hops=hops,
         message_bytes=message_bytes,
+        flows=flows,
     )
     result = get_engine(engine).evaluate(spec)
     return result.fct_ratio, result.goodput_ratio

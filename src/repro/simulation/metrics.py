@@ -14,12 +14,16 @@ class FlowMetrics:
         goodput_gbps: Application-byte throughput over the FCT.
         num_packets: Packets the message required.
         wire_bytes_per_hop: Total bytes serialized on each hop.
+        wait_us: Queueing wait folded into ``fct_us`` — nonzero only
+            under the contention engine's shared output queues; the
+            independent-flow engines always report 0.0.
     """
 
     fct_us: float
     goodput_gbps: float
     num_packets: int
     wire_bytes_per_hop: int
+    wait_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.fct_us <= 0:

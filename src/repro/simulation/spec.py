@@ -50,18 +50,28 @@ E2E_HOPS = 5
 
 @dataclass(frozen=True)
 class TrafficModel:
-    """The shared knobs of every flow in a spec."""
+    """The shared knobs of every flow in a spec.
+
+    ``offered_load`` is the bottleneck utilization the contention
+    engine should drive each path's output queue at; ``None`` defers
+    to the engine's own knob (the CLI's ``--load``) and then to
+    :data:`repro.simulation.contention.DEFAULT_LOAD`.  Values above
+    1.0 model overload.  The independent-flow engines ignore it.
+    """
 
     packet_payload_bytes: int = 1024
     message_bytes: int = E2E_MESSAGE_BYTES
     header_bytes: int = BASE_HEADER_BYTES
     mtu: int = DEFAULT_MTU
+    offered_load: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.packet_payload_bytes <= 0:
             raise ValueError("packet_payload_bytes must be positive")
         if self.message_bytes <= 0:
             raise ValueError("message_bytes must be positive")
+        if self.offered_load is not None and self.offered_load <= 0:
+            raise ValueError("offered_load must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -89,6 +99,8 @@ class SimulationSpec:
             this tuple.
         flows: The flows to evaluate.  Each is normalized against a
             zero-overhead twin on the same path (engines compute both).
+            Spec order within a path is the contention engine's
+            arrival order at that path's output queue.
         traffic: Shared packetization constants.
         source: Human-readable provenance ("uniform", "plan:...",
             "trace:..."), carried into ``sim.*`` telemetry.
@@ -136,14 +148,29 @@ class SimulationSpec:
         packet_payload_bytes: int = 1024,
         hops: int = E2E_HOPS,
         message_bytes: int = E2E_MESSAGE_BYTES,
+        flows: int = 1,
+        offered_load: Optional[float] = None,
     ) -> "SimulationSpec":
-        """The classic scalar model: one flow over a uniform path."""
+        """The classic scalar model: one flow over a uniform path.
+
+        ``flows`` > 1 replicates the message into a population sharing
+        the single path — identical per flow for the independent
+        engines, but a queue for the contention engine to fill (the
+        shape :func:`~repro.simulation.contention
+        .congested_overhead_impact` evaluates).
+        """
+        if flows <= 0:
+            raise ValueError("flows must be positive")
         return SimulationSpec(
             paths=(tuple(uniform_path(hops)),),
-            flows=(FlowSpec(0, message_bytes, overhead_bytes),),
+            flows=tuple(
+                FlowSpec(i, message_bytes, overhead_bytes)
+                for i in range(flows)
+            ),
             traffic=TrafficModel(
                 packet_payload_bytes=packet_payload_bytes,
                 message_bytes=message_bytes,
+                offered_load=offered_load,
             ),
             source="uniform",
         )

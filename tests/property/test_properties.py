@@ -607,3 +607,92 @@ class TestFailureInjection:
         assert len(diff.moves) + len(diff.unchanged) == len(
             plan.placements
         )
+
+
+# ----------------------------------------------------------------------
+# Contention engine invariants
+# ----------------------------------------------------------------------
+class TestContentionProperties:
+    """Hypothesis coverage for the queueing layer on top of the
+    DES-exact base: conservation, lower-boundedness, monotonicity."""
+
+    @staticmethod
+    def _spec(seed, flows, overhead):
+        from repro.simulation.spec import SimulationSpec
+        from repro.simulation.traces import TraceConfig, generate_trace
+
+        trace = generate_trace(
+            seed, TraceConfig(num_flows=flows, max_bytes=256 * 1024)
+        )
+        return SimulationSpec.from_trace(trace, uniform_path(4), overhead)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=256),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    def test_wire_bytes_conserved_under_contention(
+        self, seed, flows, overhead, load
+    ):
+        """Queueing delays packets; it never creates or destroys them.
+        Packet and wire-byte columns must match the analytic engine
+        bit-for-bit at any load."""
+        from repro.simulation import ContentionEngine, get_engine
+
+        spec = self._spec(seed, flows, overhead)
+        contended = ContentionEngine(load=load).evaluate(spec)
+        analytic = get_engine("analytic").evaluate(spec)
+        assert contended.wire_bytes == analytic.wire_bytes
+        assert contended.num_packets == analytic.num_packets
+        assert sum(contended.wire_bytes) == sum(analytic.wire_bytes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=256),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    def test_fct_never_below_uncontended(self, seed, flows, overhead, load):
+        """A shared queue can only add delay: every flow's FCT is
+        bounded below by its value at the structurally contention-free
+        load, where waits are exactly zero."""
+        from repro.simulation import CONTENTION_FREE_LOAD, ContentionEngine
+
+        spec = self._spec(seed, flows, overhead)
+        calm = ContentionEngine(load=CONTENTION_FREE_LOAD).evaluate(spec)
+        assert all(w == 0.0 for w in calm.wait_us)
+        busy = ContentionEngine(load=load).evaluate(spec)
+        for floor, fct in zip(calm.fct_us, busy.fct_us):
+            assert fct >= floor * (1 - 1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=0, max_value=256),
+        st.lists(
+            st.floats(min_value=0.05, max_value=2.0),
+            min_size=2,
+            max_size=4,
+        ),
+    )
+    def test_fct_monotone_in_offered_load(
+        self, seed, flows, overhead, loads
+    ):
+        """With the jitter sequence held fixed (same engine seed),
+        raising offered load compresses every arrival gap, so each
+        flow's FCT is non-decreasing in load."""
+        from repro.simulation import ContentionEngine
+
+        spec = self._spec(seed, flows, overhead)
+        previous = None
+        for load in sorted(loads):
+            fct = ContentionEngine(load=load, seed=0).evaluate(spec).fct_us
+            if previous is not None:
+                scale = max(fct)
+                for before, after in zip(previous, fct):
+                    assert after >= before - 1e-9 * scale
+            previous = fct

@@ -244,7 +244,10 @@ class TestResultAggregates:
 
 class TestEngineRegistry:
     def test_registry_names(self):
-        assert set(ENGINES) == {"exact", "analytic", "batch"}
+        # get_engine lazily registers plugin engines (contention) on
+        # first lookup; force that before inspecting the registry.
+        get_engine("contention")
+        assert set(ENGINES) == {"exact", "analytic", "batch", "contention"}
         assert DEFAULT_ENGINE == "analytic"
 
     def test_get_engine_resolves_names(self):
