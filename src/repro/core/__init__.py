@@ -22,6 +22,7 @@ from repro.core.deployment import (
 )
 from repro.core.stages import StageAssignmentError, assign_stages
 from repro.core.analyzer import ProgramAnalyzer
+from repro.core.delta import DeltaFormulation, select_delta_candidates
 from repro.core.formulation import HermesMilp, MilpFormulation
 from repro.core.formulation_stagewise import StagewiseMilp
 from repro.core.replication import replicate_cheap_hubs, replication_cost
@@ -38,6 +39,7 @@ __all__ = [
     "CoordinationAnalysis",
     "DataflowError",
     "DataflowReport",
+    "DeltaFormulation",
     "DeploymentError",
     "DeploymentPlan",
     "GreedyHeuristic",
@@ -57,6 +59,7 @@ __all__ = [
     "refine_plan",
     "replicate_cheap_hubs",
     "replication_cost",
+    "select_delta_candidates",
     "split_tdg",
     "verify_dataflow",
 ]

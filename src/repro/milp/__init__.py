@@ -25,9 +25,11 @@ optimal objectives.
 from repro.milp.expr import LinExpr
 from repro.milp.model import Constraint, Model, Sense, Var, VarType
 from repro.milp.presolve import (
+    PresolveCache,
     PresolvedModel,
     PresolveStats,
     PresolveStatus,
+    model_signature,
     presolve,
 )
 from repro.milp.solution import Solution, SolveStatus
@@ -44,6 +46,7 @@ __all__ = [
     "DEFAULT_PROFILE",
     "LinExpr",
     "Model",
+    "PresolveCache",
     "PresolveStats",
     "PresolveStatus",
     "PresolvedModel",
@@ -53,6 +56,7 @@ __all__ = [
     "SOLVER_PROFILES",
     "Var",
     "VarType",
+    "model_signature",
     "presolve",
     "solve",
 ]

@@ -37,11 +37,19 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from typing import Union
+
 from repro.milp import heuristics as _heuristics
 from repro.milp.model import Model, Var
-from repro.milp.presolve import PresolveStatus, presolve
+from repro.milp.presolve import PresolveCache, PresolveStatus, presolve
 from repro.milp.solution import Solution, SolveStatus
 from repro.telemetry import emit
+
+#: Warm-start input accepted by :meth:`BranchBoundSolver.solve`: either
+#: a raw assignment over the model's own variables, or a prior
+#: :class:`Solution` (whose values are remapped by *variable name*, so
+#: an incumbent survives the model being rebuilt between replans).
+WarmStart = Union[Dict[Var, float], Solution]
 
 _INT_TOL = 1e-6
 _OBJ_TOL = 1e-9
@@ -144,6 +152,7 @@ class BranchBoundSolver:
         node_limit: int = 200_000,
         gap_tolerance: float = 1e-6,
         profile: str = DEFAULT_PROFILE,
+        presolve_cache: Optional[PresolveCache] = None,
     ) -> None:
         if time_limit_s <= 0:
             raise ValueError("time_limit_s must be positive")
@@ -155,23 +164,51 @@ class BranchBoundSolver:
         self.node_limit = node_limit
         self.gap_tolerance = gap_tolerance
         self.profile = profile
+        #: Optional cross-solve presolve memo (fast profile only): when
+        #: consecutive solves see structurally identical models (the
+        #: reconciler's replan loop), the reduction is reused via
+        #: :meth:`PresolveCache.fetch` instead of recomputed.
+        self.presolve_cache = presolve_cache
 
     # ------------------------------------------------------------------
     def solve(
         self,
         model: Model,
-        initial: Optional[Dict[Var, float]] = None,
+        initial: Optional[WarmStart] = None,
     ) -> Solution:
         """Solve ``model``; ``initial`` optionally warm-starts the search.
 
         A feasible ``initial`` assignment becomes the first incumbent,
         so the search starts with a pruning bound instead of hunting
-        for one; an infeasible assignment is silently ignored.
+        for one; an infeasible assignment is silently ignored.  A prior
+        :class:`Solution` is accepted directly: its values are remapped
+        onto ``model``'s variables by name, so an incumbent from the
+        previous replan survives the model being rebuilt (names the new
+        model lacks are dropped; variables the solution lacks default
+        to their encoding's zero).
         """
         start = time.perf_counter()
+        warm = self._coerce_initial(model, initial)
         if self.profile == PROFILE_CLASSIC:
-            return self._finish(self._search(model, initial, start))
-        return self._finish(self._solve_fast(model, initial, start))
+            return self._finish(self._search(model, warm, start))
+        return self._finish(self._solve_fast(model, warm, start))
+
+    @staticmethod
+    def _coerce_initial(
+        model: Model, initial: Optional[WarmStart]
+    ) -> Optional[Dict[Var, float]]:
+        """Normalize a warm start onto ``model``'s own variables."""
+        if initial is None or not isinstance(initial, Solution):
+            return initial
+        if not initial.status.has_solution:
+            return None
+        remapped: Dict[Var, float] = {}
+        for var, value in initial.values.items():
+            try:
+                remapped[model.var(var.name)] = value
+            except KeyError:
+                continue
+        return remapped or None
 
     # ------------------------------------------------------------------
     def _solve_fast(
@@ -181,7 +218,11 @@ class BranchBoundSolver:
         start: float,
     ) -> Solution:
         """Fast profile: presolve, solve the reduction, lift back."""
-        pres = presolve(model)
+        pres = (
+            self.presolve_cache.fetch(model)
+            if self.presolve_cache is not None
+            else presolve(model)
+        )
         if pres.status == PresolveStatus.INFEASIBLE:
             return Solution(
                 SolveStatus.INFEASIBLE,

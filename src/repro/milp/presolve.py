@@ -37,7 +37,9 @@ reports the reduction (see :mod:`repro.telemetry`).
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -138,6 +140,125 @@ class PresolvedModel:
             for orig, reduced in self.var_map.items()
             if orig in original_values
         }
+
+    def rebind(self, model: Model) -> "PresolvedModel":
+        """Retarget this reduction at a structurally identical model.
+
+        Consecutive replans of the same deployment instance rebuild the
+        model object from scratch; when the rebuild is structurally
+        identical (same :func:`model_signature`), the presolve outcome
+        is identical too and only the ``Var`` identities differ.  The
+        fixed-value and free-variable maps are re-keyed by variable
+        index onto ``model``'s own objects, so :meth:`lift_values` /
+        :meth:`project_values` speak the new model's vocabulary.  The
+        reduced model is shared — the solver never mutates it.
+        """
+        if len(model.variables) != len(self.original.variables):
+            raise ValueError(
+                "rebind target has a different variable count: "
+                f"{len(model.variables)} != {len(self.original.variables)}"
+            )
+        variables = model.variables
+        return PresolvedModel(
+            original=model,
+            model=self.model,
+            status=self.status,
+            fixed={
+                variables[var.index]: value
+                for var, value in self.fixed.items()
+            },
+            var_map={
+                variables[var.index]: reduced
+                for var, reduced in self.var_map.items()
+            },
+            objective_offset=self.objective_offset,
+            stats=self.stats,
+        )
+
+
+def model_signature(model: Model) -> str:
+    """Structural hash of a model: bounds, rows, and objective.
+
+    Two models with equal signatures are the *same instance* up to
+    ``Var`` object identity — same variable names/types/bounds in the
+    same order, same constraint coefficients/senses/right-hand sides,
+    same objective — so a presolve computed for one is valid for the
+    other via :meth:`PresolvedModel.rebind`.
+    """
+    digest = hashlib.sha256()
+    for var in model.variables:
+        digest.update(
+            f"v|{var.name}|{var.var_type.value}|{var.lb!r}|{var.ub!r}\n".encode()
+        )
+    for constraint in model.constraints:
+        row = sorted(
+            (var.index, coef)
+            for var, coef in constraint.expr.coefs.items()
+        )
+        digest.update(
+            f"c|{constraint.sense.value}|{constraint.expr.constant!r}|{row!r}\n".encode()
+        )
+    objective = sorted(
+        (var.index, coef) for var, coef in model.objective.coefs.items()
+    )
+    digest.update(
+        f"o|{model.maximize_objective}|{model.objective.constant!r}|{objective!r}".encode()
+    )
+    return digest.hexdigest()
+
+
+class PresolveCache:
+    """Reuses presolve output across structurally identical models.
+
+    The reconciler's warm path re-solves the same deployment instance
+    after every churn event; the model is rebuilt each time, but its
+    structure rarely changes between consecutive replans.  Keyed by
+    :func:`model_signature`, the cache returns the memoized reduction
+    (rebound onto the fresh model's variables) instead of re-running
+    the fixed-point loop.  Entries evict LRU past ``max_entries``.
+
+    Emits one ``solver.presolve.cache`` telemetry event per lookup.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, PresolvedModel]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def fetch(self, model: Model, max_rounds: int = 10) -> PresolvedModel:
+        """The presolve of ``model``, memoized by structure."""
+        signature = model_signature(model)
+        cached = self._entries.get(signature)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(signature)
+            emit(
+                "solver.presolve.cache",
+                hit=True,
+                signature=signature[:12],
+                hits=self.hits,
+                misses=self.misses,
+            )
+            return cached.rebind(model)
+        self.misses += 1
+        emit(
+            "solver.presolve.cache",
+            hit=False,
+            signature=signature[:12],
+            hits=self.hits,
+            misses=self.misses,
+        )
+        result = presolve(model, max_rounds=max_rounds)
+        self._entries[signature] = result
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return result
 
 
 # Internal row form: ``(coefs by original var index, sense, rhs)``

@@ -12,7 +12,10 @@ plan a first-class artifact:
 * :mod:`repro.plan.serialize` — canonical, versioned JSON round trips
   (``repro plan export`` / the runner's result cache);
 * :mod:`repro.plan.diff` — structural plan comparison
-  (``repro plan diff`` / migration disruption reports).
+  (``repro plan diff`` / migration disruption reports);
+* :mod:`repro.plan.splice` — rebase/splice for warm replanning: carry
+  surviving placements onto the current network and apply a delta
+  solution with stage fitting and an incremental ``A_max`` probe.
 """
 
 from repro.plan.artifact import (
@@ -22,6 +25,7 @@ from repro.plan.artifact import (
 )
 from repro.plan.builder import PlanBuilder, UndoToken
 from repro.plan.diff import PlacementChange, PlanDiff, diff_plans
+from repro.plan.splice import rebase_plan, splice_plan
 from repro.plan.serialize import (
     SCHEMA,
     SCHEMA_VERSION,
@@ -51,5 +55,7 @@ __all__ = [
     "plan_from_dict",
     "plan_to_dict",
     "read_plan",
+    "rebase_plan",
+    "splice_plan",
     "write_plan",
 ]

@@ -11,9 +11,13 @@ deployment for this network?"; this package answers "what happens to a
 * :mod:`repro.runtime.state` — :class:`WorldState`, the event-folded
   view of the substrate and workload;
 * :mod:`repro.runtime.reconciler` — the :class:`Reconciler` loop that
-  replans after each event batch under explicit policies (debounce,
-  bounded retry, time budget with a cheapest-patch fallback) and
-  rebinds the runtime controller;
+  replans after each event batch down a three-rung escalation ladder
+  (warm incremental repair, cold full replan, cheapest patch) under
+  explicit policies (debounce, bounded retry, time budget) and rebinds
+  the runtime controller;
+* :mod:`repro.runtime.incremental` — :class:`IncrementalReplanner`,
+  the warm rung: rebase when no placement lost its host, delta-solve
+  and splice when the blast radius is small;
 * :mod:`repro.runtime.store` — the append-only :class:`PlanStore`
   history of ``repro.plan/v1`` artifacts with consecutive diffs and a
   replay-comparable digest;
@@ -23,6 +27,12 @@ deployment for this network?"; this package answers "what happens to a
   per-event and aggregate disruption metrics.
 """
 
+from repro.runtime.incremental import (
+    IncrementalEscalation,
+    IncrementalReplanner,
+    find_orphans,
+    same_workload,
+)
 from repro.runtime.patch import cheapest_patch
 from repro.runtime.reconciler import (
     EventOutcome,
@@ -50,6 +60,8 @@ __all__ = [
     "DisruptionReport",
     "EventKind",
     "EventOutcome",
+    "IncrementalEscalation",
+    "IncrementalReplanner",
     "NetworkEvent",
     "PlanStore",
     "PlanVersion",
@@ -62,7 +74,9 @@ __all__ = [
     "WorldState",
     "batch_events",
     "cheapest_patch",
+    "find_orphans",
     "generate_scenario",
+    "same_workload",
     "read_scenario",
     "write_scenario",
     "seed_rules",

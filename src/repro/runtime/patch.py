@@ -13,6 +13,10 @@ rebuilds the routing over latency-shortest paths on the current
 network.  The result validates against every paper constraint; its
 ``A_max`` is merely not guaranteed to be minimal — exactly the
 trade the time budget asked for.
+
+The stage-fitting primitives (window search, capacity accounting,
+neighbor reachability) are shared with the warm replanning splice and
+live in :mod:`repro.plan.splice`.
 """
 
 from __future__ import annotations
@@ -26,6 +30,13 @@ from repro.plan.artifact import (
     DeploymentError,
     DeploymentPlan,
     MatPlacement,
+)
+from repro.plan.splice import (
+    cross_bytes as _cross_bytes,
+    fit_stages,
+    free_capacity as _free_capacity,
+    neighbors_reachable as _neighbors_reachable,
+    stage_window as _stage_window,
 )
 from repro.tdg.graph import Tdg
 
@@ -70,7 +81,7 @@ def cheapest_patch(
         # Nothing to re-home; only the routing may need repair.
         return _routed(tdg, network, surviving, paths)
 
-    free = _free_capacity(tdg, network, hostable, surviving)
+    free = _free_capacity(tdg, hostable, surviving)
     placements = dict(surviving)
     for name in tdg.topological_order():
         if name not in set(orphans):
@@ -81,27 +92,6 @@ def cheapest_patch(
     plan = _routed(tdg, network, placements, paths)
     plan.validate()
     return plan
-
-
-def _free_capacity(
-    tdg: Tdg,
-    network: Network,
-    hostable: Dict[str, Switch],
-    surviving: Dict[str, MatPlacement],
-) -> Dict[str, List[float]]:
-    """Per-switch, per-stage capacity left after surviving placements."""
-    free = {
-        name: [switch.stage_capacity] * switch.num_stages
-        for name, switch in hostable.items()
-    }
-    for placement in surviving.values():
-        share = tdg.node(placement.mat_name).resource_demand / len(
-            placement.stages
-        )
-        stages = free[placement.switch]
-        for stage in placement.stages:
-            stages[stage - 1] -= share
-    return free
 
 
 def _place_orphan(
@@ -128,7 +118,7 @@ def _place_orphan(
         if window is None:
             continue
         lo, hi = window
-        stages = _fit_stages(
+        stages = fit_stages(
             mat.resource_demand, free[switch_name], lo, hi, tol
         )
         if stages is None:
@@ -148,93 +138,6 @@ def _place_orphan(
     for stage in placement.stages:
         free[placement.switch][stage - 1] -= share
     return placement
-
-
-def _stage_window(
-    tdg: Tdg,
-    name: str,
-    switch_name: str,
-    switch: Switch,
-    placements: Dict[str, MatPlacement],
-) -> Optional[Tuple[int, int]]:
-    """Stage bounds (lo, hi) honoring same-switch dependency order."""
-    lo, hi = 1, switch.num_stages
-    for pred in tdg.predecessors(name):
-        placement = placements.get(pred)
-        if placement is not None and placement.switch == switch_name:
-            lo = max(lo, placement.last_stage + 1)
-    for succ in tdg.successors(name):
-        placement = placements.get(succ)
-        if placement is not None and placement.switch == switch_name:
-            hi = min(hi, placement.first_stage - 1)
-    if lo > hi:
-        return None
-    return lo, hi
-
-
-def _fit_stages(
-    demand: float,
-    free: List[float],
-    lo: int,
-    hi: int,
-    tol: float,
-) -> Optional[Tuple[int, ...]]:
-    """Smallest consecutive stage window in [lo, hi] holding ``demand``.
-
-    The demand splits evenly across the window (matching
-    :func:`repro.core.stages.assign_stages` semantics); the earliest
-    smallest window wins for determinism.
-    """
-    for width in range(1, hi - lo + 2):
-        share = demand / width
-        for start in range(lo, hi - width + 2):
-            if all(
-                free[stage - 1] + tol >= share
-                for stage in range(start, start + width)
-            ):
-                return tuple(range(start, start + width))
-    return None
-
-
-def _cross_bytes(
-    tdg: Tdg,
-    name: str,
-    switch_name: str,
-    placements: Dict[str, MatPlacement],
-) -> int:
-    """Metadata bytes this placement sends across switch boundaries."""
-    total = 0
-    for edge in tdg.in_edges(name):
-        placement = placements.get(edge.upstream)
-        if placement is not None and placement.switch != switch_name:
-            total += edge.metadata_bytes
-    for edge in tdg.out_edges(name):
-        placement = placements.get(edge.downstream)
-        if placement is not None and placement.switch != switch_name:
-            total += edge.metadata_bytes
-    return total
-
-
-def _neighbors_reachable(
-    tdg: Tdg,
-    name: str,
-    switch_name: str,
-    placements: Dict[str, MatPlacement],
-    paths: PathEnumerator,
-) -> bool:
-    for pred in tdg.predecessors(name):
-        placement = placements.get(pred)
-        if placement is not None and not paths.reachable(
-            placement.switch, switch_name
-        ):
-            return False
-    for succ in tdg.successors(name):
-        placement = placements.get(succ)
-        if placement is not None and not paths.reachable(
-            switch_name, placement.switch
-        ):
-            return False
-    return True
 
 
 def _routed(

@@ -7,12 +7,31 @@ re-deploys the live workload on the current network under explicit
 policies, rebinds the runtime :class:`~repro.control.Controller` to the
 new plan, and appends the plan to the :class:`~repro.runtime.store.PlanStore`.
 
+Replanning runs a three-rung escalation ladder, cheapest first:
+
+1. **incremental** (``policy.incremental``, off by default) — the old
+   plan is warm-repaired by :class:`~repro.runtime.incremental.
+   IncrementalReplanner`: rebased verbatim when no placement lost its
+   host, or delta-solved over the blast radius and spliced.  The rung
+   escalates — deterministically, never on wall-clock — when the
+   workload changed, the blast radius exceeds
+   ``policy.max_blast_fraction``, or the repair machinery raises.
+2. **full** — the cold path: ``deploy_fn`` re-deploys the live
+   workload from scratch under the retry policy.
+3. **patch** — the degraded mode: when the full replan blows
+   ``replan_budget_s``, its result is discarded in favor of the
+   cheapest feasible local patch
+   (:func:`repro.runtime.patch.cheapest_patch`).
+
 Policies (:class:`ReconcilerPolicy`):
 
 * **Debounce** — events closer than ``debounce_s`` apart coalesce into
   one batch and one replan, so a correlated burst (a rack power event
   failing three switches within milliseconds) doesn't thrash the
   deployment through three intermediate plans.
+* **Incremental first** — ``incremental`` turns rung 1 on;
+  ``max_blast_fraction`` bounds how much of the deployment the delta
+  mode may re-home before escalating to a cold solve.
 * **Time budget** — when a full replan exceeds ``replan_budget_s``
   wall-clock, its result is discarded in favor of the cheapest feasible
   local patch (:func:`repro.runtime.patch.cheapest_patch`): minimal
@@ -31,6 +50,7 @@ Everything interesting is emitted on the :mod:`repro.telemetry` bus as
 
 from __future__ import annotations
 
+import inspect
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -42,14 +62,29 @@ from repro.dataplane.program import Program
 from repro.network.topology import Network
 from repro.plan.artifact import DeploymentError, DeploymentPlan
 from repro.plan.diff import PlanDiff, diff_plans
+from repro.runtime.incremental import (
+    IncrementalEscalation,
+    IncrementalReplanner,
+    same_workload as _same_workload,
+)
 from repro.runtime.patch import cheapest_patch
 from repro.runtime.scenario import NetworkEvent, Scenario, batch_events
 from repro.runtime.state import WorldState
 from repro.runtime.store import PlanStore
 from repro.telemetry import emit
 
-#: A pluggable deployment function: (programs, network) -> plan.
-DeployFn = Callable[[Sequence[Program], Network], DeploymentPlan]
+#: A pluggable deployment function: ``(programs, network) -> plan``, or
+#: ``(programs, network, old_plan) -> plan`` for functions that want
+#: the previously active plan (None on the initial deployment) as a
+#: warm start.  The reconciler inspects the signature and calls with
+#: whichever arity the function declares.
+DeployFn = Callable[..., DeploymentPlan]
+
+#: The escalation rungs an :class:`EventOutcome` can record.
+RUNG_INCREMENTAL = "incremental"
+RUNG_FULL = "full"
+RUNG_PATCH = "patch"
+RUNG_NONE = "none"
 
 
 @dataclass(frozen=True)
@@ -60,6 +95,8 @@ class ReconcilerPolicy:
     max_retries: int = 2
     retry_backoff_s: float = 0.5
     debounce_s: float = 0.0
+    incremental: bool = False
+    max_blast_fraction: float = 0.3
 
     def __post_init__(self) -> None:
         if self.replan_budget_s is not None and self.replan_budget_s < 0:
@@ -70,6 +107,8 @@ class ReconcilerPolicy:
             raise ValueError("retry_backoff_s must be >= 0")
         if self.debounce_s < 0:
             raise ValueError("debounce_s must be >= 0")
+        if not 0.0 <= self.max_blast_fraction <= 1.0:
+            raise ValueError("max_blast_fraction must be in [0, 1]")
 
 
 @dataclass
@@ -90,6 +129,8 @@ class EventOutcome:
     converged: bool
     attempts: int
     used_patch: bool
+    rung: str = RUNG_FULL
+    backoff_s: float = 0.0
     error: Optional[str] = None
     fingerprint_before: str = ""
     fingerprint_after: str = ""
@@ -121,6 +162,8 @@ class EventOutcome:
             "converged": self.converged,
             "attempts": self.attempts,
             "used_patch": self.used_patch,
+            "rung": self.rung,
+            "backoff_s": self.backoff_s,
             "error": self.error,
             "fingerprint_before": self.fingerprint_before,
             "fingerprint_after": self.fingerprint_after,
@@ -213,10 +256,13 @@ class Reconciler:
         policy: Replan policies; defaults to
             ``ReconcilerPolicy()`` (no budget, two retries, no
             debounce).
-        deploy_fn: Deployment function ``(programs, network) -> plan``;
-            defaults to the Hermes heuristic.  Tests inject flaky or
-            slow functions here to exercise the retry and timeout
-            policies deterministically.
+        deploy_fn: Deployment function ``(programs, network) -> plan``
+            or ``(programs, network, old_plan) -> plan``; defaults to
+            the Hermes heuristic.  Tests inject flaky or slow
+            functions here to exercise the retry and timeout policies
+            deterministically.  Three-argument functions additionally
+            receive the previously active plan (None on the initial
+            deployment) as warm-start material.
         prepare_fn: Optional hook called with the freshly bound
             :class:`Controller` after the initial deployment, before
             any event is replayed — the place to install runtime rules
@@ -249,6 +295,12 @@ class Reconciler:
             )
             deploy_fn = lambda progs, net: hermes.deploy(progs, net).plan  # noqa: E731
         self.deploy_fn = deploy_fn
+        self._deploy_wants_old_plan = _accepts_old_plan(deploy_fn)
+        self._incremental = (
+            IncrementalReplanner(self.policy.max_blast_fraction)
+            if self.policy.incremental
+            else None
+        )
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> ReconcileResult:
@@ -261,7 +313,9 @@ class Reconciler:
             seed=scenario.seed,
             events=len(scenario.events),
         )
-        plan = self.deploy_fn(world.current_programs(), world.current_network())
+        plan = self._call_deploy(
+            world.current_programs(), world.current_network(), None
+        )
         store.append(plan, time_s=0.0, reason="initial")
         controller = Controller(plan)
         if self.prepare_fn is not None:
@@ -315,7 +369,7 @@ class Reconciler:
         } or any(
             e.kind in ("workload_add", "workload_remove") for e in batch
         )
-        new_plan, attempts, used_patch, elapsed_s, backoff_s, error = (
+        new_plan, attempts, used_patch, elapsed_s, backoff_s, error, rung = (
             self._replan(world, old_plan)
         )
         outcome = EventOutcome(
@@ -325,6 +379,8 @@ class Reconciler:
             converged=new_plan is not None,
             attempts=attempts,
             used_patch=used_patch,
+            rung=rung,
+            backoff_s=backoff_s,
             error=error,
             fingerprint_before=old_version.fingerprint,
             old_amax_bytes=old_plan.max_metadata_bytes(),
@@ -355,7 +411,9 @@ class Reconciler:
         )
         rebind = controller.rebind(new_plan)
         version = store.append(new_plan, time_s=batch_time, reason=(
-            "patch" if used_patch else "replan"
+            "incremental"
+            if rung == RUNG_INCREMENTAL
+            else ("patch" if used_patch else "replan")
         ))
         self._fill_outcome(outcome, old_plan, new_plan, moves, rebind)
         outcome.fingerprint_after = version.fingerprint
@@ -376,6 +434,7 @@ class Reconciler:
             forced_moves=outcome.forced_moves,
             optimization_moves=outcome.optimization_moves,
             used_patch=used_patch,
+            rung=rung,
             workload_changed=workload_changed,
         )
         return outcome
@@ -398,20 +457,53 @@ class Reconciler:
         outcome.plan_diff = diff_plans(old_plan, new_plan)
 
     # ------------------------------------------------------------------
+    def _call_deploy(
+        self,
+        programs: Sequence[Program],
+        network: Network,
+        old_plan: Optional[DeploymentPlan],
+    ) -> DeploymentPlan:
+        if self._deploy_wants_old_plan:
+            return self.deploy_fn(programs, network, old_plan)
+        return self.deploy_fn(programs, network)
+
+    # ------------------------------------------------------------------
     def _replan(
         self, world: WorldState, old_plan: DeploymentPlan
     ) -> Tuple[
-        Optional[DeploymentPlan], int, bool, float, float, Optional[str]
+        Optional[DeploymentPlan], int, bool, float, float, Optional[str], str
     ]:
-        """One policy-governed replan.
+        """One policy-governed replan down the escalation ladder.
 
         Returns ``(plan, attempts, used_patch, elapsed_s, backoff_s,
-        error)``; ``plan`` is None when every attempt failed.
+        error, rung)``; ``plan`` is None when every attempt failed, in
+        which case ``rung`` is :data:`RUNG_NONE`.
         """
         policy = self.policy
         programs = world.current_programs()
         network = world.current_network()
         workload_unchanged = _same_workload(old_plan, programs)
+
+        # Rung 1: warm incremental repair.  Escalation is decided by
+        # structure (workload, blast radius, feasibility) — never by
+        # wall-clock — so warm histories replay deterministically.
+        if self._incremental is not None:
+            start = _time.perf_counter()
+            try:
+                plan, _mode = self._incremental.replan(
+                    programs, network, old_plan
+                )
+            except IncrementalEscalation as exc:
+                emit(
+                    "runtime.replan.escalate",
+                    reason=exc.reason,
+                    error=str(exc),
+                )
+            else:
+                elapsed = _time.perf_counter() - start
+                return plan, 1, False, elapsed, 0.0, None, RUNG_INCREMENTAL
+
+        # Rung 2: cold full replan under the retry policy.
         attempts = 0
         backoff_s = 0.0
         last_error: Optional[str] = None
@@ -419,7 +511,7 @@ class Reconciler:
             attempts += 1
             start = _time.perf_counter()
             try:
-                plan = self.deploy_fn(programs, network)
+                plan = self._call_deploy(programs, network, old_plan)
             except DeploymentError as exc:
                 last_error = str(exc)
                 emit(
@@ -433,6 +525,8 @@ class Reconciler:
                     )
                 continue
             elapsed = _time.perf_counter() - start
+            # Rung 3: the over-budget full plan is discarded for the
+            # cheapest feasible local patch.
             if (
                 policy.replan_budget_s is not None
                 and elapsed > policy.replan_budget_s
@@ -452,10 +546,16 @@ class Reconciler:
                     emit(
                         "runtime.replan.patch_failed", error=str(exc)
                     )
-                    return plan, attempts, False, elapsed, backoff_s, None
-                return patched, attempts, True, elapsed, backoff_s, None
-            return plan, attempts, False, elapsed, backoff_s, None
-        return None, attempts, False, 0.0, backoff_s, last_error
+                    return (
+                        plan, attempts, False, elapsed, backoff_s, None,
+                        RUNG_FULL,
+                    )
+                return (
+                    patched, attempts, True, elapsed, backoff_s, None,
+                    RUNG_PATCH,
+                )
+            return plan, attempts, False, elapsed, backoff_s, None, RUNG_FULL
+        return None, attempts, False, 0.0, backoff_s, last_error, RUNG_NONE
 
 
 def seed_rules(
@@ -497,13 +597,28 @@ def seed_rules(
     return installed
 
 
-def _same_workload(
-    old_plan: DeploymentPlan, programs: Sequence[Program]
-) -> bool:
-    """Whether ``programs`` still matches the plan's deployed MAT set.
+def _accepts_old_plan(deploy_fn: DeployFn) -> bool:
+    """Whether ``deploy_fn`` declares a third (old-plan) parameter.
 
-    MAT names in the merged TDG are ``<program>.<mat>``-qualified, so
-    comparing program-name prefixes is sufficient and cheap.
+    Two-argument functions predate the warm-start ladder and stay
+    supported; unintrospectable callables get the legacy arity.
     """
-    deployed = {name.split(".", 1)[0] for name in old_plan.placements}
-    return deployed == {p.name for p in programs}
+    try:
+        parameters = inspect.signature(deploy_fn).parameters
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p
+        for p in parameters.values()
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    if any(
+        p.kind == inspect.Parameter.VAR_POSITIONAL
+        for p in parameters.values()
+    ):
+        return True
+    return len(positional) >= 3

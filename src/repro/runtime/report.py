@@ -7,6 +7,9 @@ reconciler's per-batch :class:`~repro.runtime.reconciler.EventOutcome`
 records into:
 
 * MAT moves (forced vs optimization) and rules replayed per event;
+* which escalation rung served each batch (warm incremental repair,
+  cold full replan, cheapest patch) plus the retry cost (attempts,
+  virtual backoff) the ladder paid;
 * the per-pair byte-overhead trajectory over virtual time, including
   the transient migration windows where both placements coexist;
 * time-to-converge per event (replan latency plus retry backoff);
@@ -78,6 +81,11 @@ class DisruptionReport:
     degraded_batches: int
     improved_batches: int
     neutral_batches: int
+    incremental_batches: int
+    full_batches: int
+    patch_batches: int
+    total_attempts: int
+    total_backoff_s: float
     mean_convergence_s: float
     max_convergence_s: float
     initial_amax_bytes: int
@@ -150,6 +158,13 @@ class DisruptionReport:
             degraded_batches=degraded,
             improved_batches=improved,
             neutral_batches=len(converged) - degraded - improved,
+            incremental_batches=sum(
+                1 for o in converged if o.rung == "incremental"
+            ),
+            full_batches=sum(1 for o in converged if o.rung == "full"),
+            patch_batches=sum(1 for o in converged if o.rung == "patch"),
+            total_attempts=sum(o.attempts for o in outcomes),
+            total_backoff_s=sum(o.backoff_s for o in outcomes),
             mean_convergence_s=(
                 sum(times) / len(times) if times else 0.0
             ),
@@ -203,6 +218,11 @@ class DisruptionReport:
             "degraded_batches": self.degraded_batches,
             "improved_batches": self.improved_batches,
             "neutral_batches": self.neutral_batches,
+            "incremental_batches": self.incremental_batches,
+            "full_batches": self.full_batches,
+            "patch_batches": self.patch_batches,
+            "total_attempts": self.total_attempts,
+            "total_backoff_s": self.total_backoff_s,
             "mean_convergence_s": self.mean_convergence_s,
             "max_convergence_s": self.max_convergence_s,
             "initial_amax_bytes": self.initial_amax_bytes,
@@ -239,6 +259,15 @@ class DisruptionReport:
             degraded_batches=int(doc["degraded_batches"]),
             improved_batches=int(doc["improved_batches"]),
             neutral_batches=int(doc["neutral_batches"]),
+            # Rung accounting shipped after v1 docs existed; default
+            # pre-ladder documents to all-full histories.
+            incremental_batches=int(doc.get("incremental_batches", 0)),
+            full_batches=int(
+                doc.get("full_batches", doc["num_converged"])
+            ),
+            patch_batches=int(doc.get("patch_batches", 0)),
+            total_attempts=int(doc.get("total_attempts", 0)),
+            total_backoff_s=float(doc.get("total_backoff_s", 0.0)),
             mean_convergence_s=float(doc["mean_convergence_s"]),
             max_convergence_s=float(doc["max_convergence_s"]),
             initial_amax_bytes=int(doc["initial_amax_bytes"]),
@@ -360,6 +389,10 @@ class DisruptionReport:
             f"{self.neutral_batches} neutral; "
             f"convergence mean {self.mean_convergence_s * 1e3:.1f} ms, "
             f"max {self.max_convergence_s * 1e3:.1f} ms",
+            f"Rungs: {self.incremental_batches} incremental / "
+            f"{self.full_batches} full / {self.patch_batches} patch; "
+            f"{self.total_attempts} attempts, "
+            f"backoff {self.total_backoff_s:.1f} s",
             f"History digest: {self.history_digest[:16]}...",
         ]
         if self.has_traffic:
@@ -377,8 +410,8 @@ class DisruptionReport:
             )
         lines.append("")
         headers = [
-            "batch", "t (s)", "events", "converged", "forced",
-            "opt", "rules", "A_max (B)", "transient (B)",
+            "batch", "t (s)", "events", "converged", "rung", "tries",
+            "forced", "opt", "rules", "A_max (B)", "transient (B)",
             "conv (ms)",
         ]
         if self.has_traffic:
@@ -390,6 +423,8 @@ class DisruptionReport:
                 f"{row['time_s']:.2f}",
                 ",".join(e["kind"] for e in row["events"]),
                 "yes" if row["converged"] else "NO",
+                row.get("rung", "full"),
+                row.get("attempts", 1),
                 row["forced_moves"],
                 row["optimization_moves"],
                 row["rules_replayed"],

@@ -35,7 +35,8 @@ class PlanVersion:
         version: 0-based position in the history.
         fingerprint: SHA-256 of the plan's canonical serialization.
         time_s: Virtual time the plan became active.
-        reason: Why it was produced: ``"initial"``, ``"replan"`` or
+        reason: Why it was produced: ``"initial"``, ``"incremental"``
+            (warm rebase/splice), ``"replan"`` (cold full solve) or
             ``"patch"`` (the timeout fallback).
         plan: The plan artifact itself.
     """

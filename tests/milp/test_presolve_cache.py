@@ -1,0 +1,149 @@
+"""Tests for structural model signatures and the presolve cache.
+
+The warm replanning path re-solves structurally identical models over
+and over (same blast-radius shape, different event); the cache must
+recognize them by structure, rebind the memoized presolve output onto
+the fresh variable objects, and never change what the solver returns.
+"""
+
+import pytest
+
+from repro.milp.expr import LinExpr
+from repro.milp.model import Model
+from repro.milp.branch_bound import BranchBoundSolver
+from repro.milp.presolve import PresolveCache, model_signature
+from repro.milp.solution import Solution, SolveStatus
+from repro.telemetry import Recorder, attached
+
+
+def knapsack(cap=7):
+    model = Model("k")
+    weights = [3, 4, 2, 5]
+    values = [10, 13, 7, 16]
+    xs = [model.add_binary(f"x{i}") for i in range(4)]
+    model.add_constr(
+        LinExpr.total(w * x for w, x in zip(weights, xs)) <= cap
+    )
+    model.maximize(LinExpr.total(v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestModelSignature:
+    def test_identical_rebuilds_share_a_signature(self):
+        a, _ = knapsack()
+        b, _ = knapsack()
+        assert a.variables[0] is not b.variables[0]
+        assert model_signature(a) == model_signature(b)
+
+    def test_changed_constant_changes_signature(self):
+        a, _ = knapsack(cap=7)
+        b, _ = knapsack(cap=8)
+        assert model_signature(a) != model_signature(b)
+
+    def test_changed_bound_changes_signature(self):
+        a, _ = knapsack()
+        b, _ = knapsack()
+        b.variables[0].ub = 0.0
+        assert model_signature(a) != model_signature(b)
+
+    def test_changed_objective_changes_signature(self):
+        a, xs_a = knapsack()
+        b, xs_b = knapsack()
+        b.maximize(LinExpr.total(xs_b))
+        assert model_signature(a) != model_signature(b)
+
+
+class TestPresolveCache:
+    def test_second_fetch_hits_and_rebinds(self):
+        cache = PresolveCache()
+        a, _ = knapsack()
+        b, _ = knapsack()
+        first = cache.fetch(a)
+        second = cache.fetch(b)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # The rebound result is keyed onto b's variable objects.
+        assert second.original is b
+        for var in second.fixed:
+            assert var is b.variables[var.index]
+        assert {v.name for v in second.fixed} == {
+            v.name for v in first.fixed
+        }
+
+    def test_rebind_rejects_mismatched_model(self):
+        cache = PresolveCache()
+        a, _ = knapsack()
+        pres = cache.fetch(a)
+        other = Model("m")
+        other.add_binary("y")
+        with pytest.raises(ValueError):
+            pres.rebind(other)
+
+    def test_eviction_respects_max_entries(self):
+        cache = PresolveCache(max_entries=1)
+        a, _ = knapsack(cap=7)
+        b, _ = knapsack(cap=8)
+        cache.fetch(a)
+        cache.fetch(b)  # evicts a
+        cache.fetch(a)
+        assert cache.misses == 3
+        assert len(cache) == 1
+
+    def test_cache_emits_telemetry(self):
+        cache = PresolveCache()
+        a, _ = knapsack()
+        b, _ = knapsack()
+        recorder = Recorder()
+        with attached(recorder):
+            cache.fetch(a)
+            cache.fetch(b)
+        assert recorder.count("solver.presolve.cache") == 2
+
+    def test_cached_solve_matches_fresh_solve(self):
+        cache = PresolveCache()
+        results = []
+        for _ in range(2):
+            model, _ = knapsack()
+            solution = BranchBoundSolver(
+                time_limit_s=30, presolve_cache=cache
+            ).solve(model)
+            results.append(solution)
+        fresh, _ = knapsack()
+        baseline = BranchBoundSolver(time_limit_s=30).solve(fresh)
+        assert all(s.status is SolveStatus.OPTIMAL for s in results)
+        assert results[0].objective == pytest.approx(baseline.objective)
+        assert results[1].objective == pytest.approx(baseline.objective)
+        assert cache.hits == 1
+
+
+class TestSolutionAsWarmStart:
+    def test_prior_solution_seeds_a_rebuilt_model(self):
+        model, _ = knapsack()
+        prior = BranchBoundSolver(time_limit_s=30).solve(model)
+        assert prior.status is SolveStatus.OPTIMAL
+        rebuilt, _ = knapsack()
+        recorder = Recorder()
+        with attached(recorder):
+            solution = BranchBoundSolver(time_limit_s=30).solve(
+                rebuilt, initial=prior
+            )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(prior.objective)
+        warm = [
+            e
+            for e in recorder.of_kind("solver.incumbent")
+            if e.get("source") == "warm_start"
+        ]
+        assert warm
+
+    def test_foreign_solution_names_are_ignored(self):
+        other = Model("other")
+        y = other.add_binary("y")
+        foreign = Solution(
+            status=SolveStatus.OPTIMAL, values={y: 1.0}, objective=1.0
+        )
+        model, _ = knapsack()
+        solution = BranchBoundSolver(time_limit_s=30).solve(
+            model, initial=foreign
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(23)

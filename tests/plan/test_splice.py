@@ -1,0 +1,109 @@
+"""Tests for plan rebasing and delta-solution splicing."""
+
+import pytest
+
+from repro.core import Hermes
+from repro.network.generators import random_wan
+from repro.network.topology import Network
+from repro.plan.artifact import DeploymentError
+from repro.plan.splice import rebase_plan, splice_plan
+
+
+def drop_switch(network, victim):
+    """The network without ``victim`` (switch and incident links)."""
+    out = Network(network.name)
+    for switch in network.switches:
+        if switch.name != victim:
+            out.add_switch(switch)
+    for link in network.links:
+        if victim not in link.key:
+            out.add_link(link)
+    return out
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_wan(12, 18, seed=4, num_stages=4)
+
+
+@pytest.fixture(scope="module")
+def plan(network):
+    from tests.conftest import make_sketch_program
+
+    programs = [
+        make_sketch_program(f"p{i}", index_bytes=2 + i) for i in range(6)
+    ]
+    return Hermes().deploy(programs, network).plan
+
+
+class TestRebase:
+    def test_rebase_preserves_placements_and_amax(self, plan, network):
+        # Drop an unoccupied switch: every placement survives.
+        occupied = set(plan.occupied_switches())
+        victim = next(
+            s.name for s in network.switches if s.name not in occupied
+        )
+        shrunk = drop_switch(network, victim)
+        rebased = rebase_plan(plan, shrunk)
+        assert rebased.placements == plan.placements
+        assert rebased.max_metadata_bytes() == plan.max_metadata_bytes()
+        rebased.validate()
+
+    def test_rebase_fails_when_a_host_vanished(self, plan, network):
+        victim = plan.occupied_switches()[0]
+        shrunk = drop_switch(network, victim)
+        with pytest.raises(DeploymentError):
+            rebase_plan(plan, shrunk)
+
+
+class TestSplice:
+    def test_splice_moves_only_the_free_mats(self, plan, network):
+        victim = plan.occupied_switches()[0]
+        shrunk = drop_switch(network, victim)
+        free = [
+            name
+            for name, p in plan.placements.items()
+            if p.switch == victim
+        ]
+        target = sorted(
+            s.name for s in shrunk.programmable_switches()
+        )[0]
+        spliced = splice_plan(plan, shrunk, {name: target for name in free})
+        spliced.validate()
+        for name, placement in plan.placements.items():
+            if name in free:
+                assert spliced.placements[name].switch == target
+            else:
+                assert spliced.placements[name] == placement
+
+    def test_splice_rejects_unknown_mats(self, plan, network):
+        with pytest.raises(DeploymentError, match="unknown MATs"):
+            splice_plan(plan, network, {"nope.mat": "w0"})
+
+    def test_splice_rejects_non_hostable_switch(self, plan, network):
+        name = next(iter(plan.placements))
+        with pytest.raises(DeploymentError, match="non-hostable"):
+            splice_plan(plan, network, {name: "no-such-switch"})
+
+    def test_busted_amax_cap_raises(self, plan, network):
+        victim = plan.occupied_switches()[0]
+        shrunk = drop_switch(network, victim)
+        free = [
+            name
+            for name, p in plan.placements.items()
+            if p.switch == victim
+        ]
+        target = sorted(
+            s.name for s in shrunk.programmable_switches()
+        )[0]
+        assignment = {name: target for name in free}
+        with pytest.raises(DeploymentError, match="A_max probe"):
+            splice_plan(plan, shrunk, assignment, amax_cap=-1)
+
+    def test_identity_splice_is_a_rebase(self, plan, network):
+        # Re-assigning a MAT to its current host must reproduce the
+        # plan's metrics (stages may legally differ).
+        name, placement = next(iter(plan.placements.items()))
+        spliced = splice_plan(plan, network, {name: placement.switch})
+        assert spliced.max_metadata_bytes() == plan.max_metadata_bytes()
+        assert spliced.placements[name].switch == placement.switch

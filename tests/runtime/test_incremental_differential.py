@@ -1,0 +1,117 @@
+"""Differential correctness of warm incremental replanning.
+
+The warm ladder's contract: on every seeded churn sequence the
+incremental path's ``A_max`` trajectory must equal the cold full
+replanning path's, batch by batch.  The workload is sized so each
+program chain *cannot* colocate (two stages, 2.7 stage-units per
+chain), forcing nonzero cross-switch overhead — a trajectory of zeros
+would make the equality vacuous.  The event mix is topology-only;
+workload churn deterministically escalates the warm rung to the same
+cold solve the baseline runs, so those batches are trivially equal and
+only dilute the comparison.
+
+The rebase mode preserves ``A_max`` *by construction* (pair bytes
+depend only on placements); the delta mode must reproduce it because
+it minimizes the same objective over the blast radius.  Both modes
+must appear in the corpus or the test is not exercising the claim.
+"""
+
+import pytest
+
+from repro.network.generators import random_wan
+from repro.runtime import (
+    EventKind,
+    Reconciler,
+    ReconcilerPolicy,
+    generate_scenario,
+)
+from repro.telemetry import Recorder, attached
+from tests.conftest import make_sketch_program
+
+#: Topology-only churn: no workload adds/removes.
+TOPOLOGY_MIX = {
+    EventKind.SWITCH_FAIL: 4,
+    EventKind.SWITCH_RECOVER: 2,
+    EventKind.SWITCH_DRAIN: 1,
+    EventKind.LINK_LATENCY: 2,
+    EventKind.SET_PROGRAMMABLE: 1,
+}
+
+#: Empirically verified seeds; every one yields a nonzero-A_max
+#: trajectory and at least one delta-mode batch.
+SEEDS = (3, 13, 17)
+
+
+def build_world():
+    network = random_wan(
+        12,
+        18,
+        seed=4,
+        num_stages=2,
+        stage_capacity=1.0,
+        programmable_fraction=0.75,
+    )
+    programs = [
+        make_sketch_program(
+            f"p{i}", index_bytes=2 + i, demands=(0.9, 0.9, 0.9)
+        )
+        for i in range(4)
+    ]
+    return network, programs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_warm_amax_trajectory_equals_cold(seed):
+    network, programs = build_world()
+    scenario = generate_scenario(
+        network, num_events=12, seed=seed, event_mix=TOPOLOGY_MIX
+    )
+    cold = Reconciler(programs, network).run(scenario)
+    recorder = Recorder()
+    with attached(recorder):
+        warm = Reconciler(
+            programs, network, policy=ReconcilerPolicy(incremental=True)
+        ).run(scenario)
+
+    assert len(cold.outcomes) == len(warm.outcomes)
+    for cold_outcome, warm_outcome in zip(cold.outcomes, warm.outcomes):
+        assert cold_outcome.converged == warm_outcome.converged
+        assert (
+            warm_outcome.new_amax_bytes == cold_outcome.new_amax_bytes
+        ), (
+            f"batch {cold_outcome.batch_index}: warm rung "
+            f"{warm_outcome.rung!r} produced "
+            f"{warm_outcome.new_amax_bytes} B, cold produced "
+            f"{cold_outcome.new_amax_bytes} B"
+        )
+    assert (
+        warm.final_plan.max_metadata_bytes()
+        == cold.final_plan.max_metadata_bytes()
+    )
+    # The trajectory is nonzero (the equality is not vacuous) and the
+    # warm path actually ran its incremental rung.
+    assert any(o.new_amax_bytes > 0 for o in cold.outcomes)
+    assert any(o.rung == "incremental" for o in warm.outcomes)
+    warm.final_plan.validate()
+
+
+def test_corpus_exercises_both_warm_modes():
+    """Across the seed corpus, rebases AND delta solves must occur."""
+    network, programs = build_world()
+    modes = set()
+    for seed in SEEDS:
+        scenario = generate_scenario(
+            network, num_events=12, seed=seed, event_mix=TOPOLOGY_MIX
+        )
+        recorder = Recorder()
+        with attached(recorder):
+            Reconciler(
+                programs,
+                network,
+                policy=ReconcilerPolicy(incremental=True),
+            ).run(scenario)
+        modes.update(
+            e["mode"]
+            for e in recorder.of_kind("runtime.replan.incremental")
+        )
+    assert modes == {"rebase", "delta"}

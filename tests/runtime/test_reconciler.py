@@ -201,6 +201,41 @@ class TestTimeoutPolicy:
         assert outcome.forced_moves > 0
         assert outcome.optimization_moves == 0
 
+    def test_patch_failure_keeps_over_budget_plan(
+        self, programs, network, monkeypatch
+    ):
+        """When no local repair exists, the slow full plan still wins."""
+        hermes = Hermes()
+
+        def slow_deploy(progs, net):
+            time.sleep(0.02)
+            return hermes.deploy(progs, net).plan
+
+        def no_patch(old_plan, network, paths=None):
+            raise DeploymentError("no feasible local repair")
+
+        monkeypatch.setattr(
+            "repro.runtime.reconciler.cheapest_patch", no_patch
+        )
+        plan = hermes.deploy(programs, network).plan
+        scenario = scenario_of(fail_first_host(plan))
+        policy = ReconcilerPolicy(replan_budget_s=0.0)
+        recorder = Recorder()
+        with attached(recorder):
+            result = Reconciler(
+                programs, network, policy=policy, deploy_fn=slow_deploy
+            ).run(scenario)
+        (outcome,) = result.outcomes
+        assert outcome.converged
+        assert not outcome.used_patch
+        assert outcome.rung == "full"
+        assert recorder.count("runtime.replan.fallback") == 1
+        assert recorder.count("runtime.replan.patch_failed") == 1
+        assert result.store.latest.reason == "replan"
+        result.final_plan.validate()
+        victim = scenario.events[0].target
+        assert victim not in result.final_plan.occupied_switches()
+
     def test_no_budget_never_patches(self, programs, network):
         plan = Hermes().deploy(programs, network).plan
         scenario = scenario_of(fail_first_host(plan))
