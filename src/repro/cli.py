@@ -20,6 +20,9 @@ Run any paper experiment or an ad-hoc deployment without writing code:
     python -m repro simulate --overhead 48 --engine exact
     python -m repro simulate --overhead 48 --flows 5000 \
         --engine contention --load 0.9
+    python -m repro serve --socket /tmp/repro.sock --workers 4
+    python -m repro deploy --workload real:10 --topology wan:16:24 \
+        --connect /tmp/repro.sock
 
 Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
@@ -31,6 +34,13 @@ of the framework x problem cells; results identical to serial),
 ``--cache-dir PATH`` (content-addressed result cache: repeated sweep
 points and re-runs skip solving) and ``--journal PATH`` (JSONL
 telemetry of runner, deploy and branch & bound solver events).
+
+``repro serve`` keeps the control plane resident; ``--connect ADDR``
+on ``deploy``, ``simulate``, ``churn run|replay`` and ``plan diff``
+routes the op through the daemon instead of solving in-process.
+Repeat deploys on one connection take the warm incremental path, and
+every result is byte-identical to the local run (see
+:mod:`repro.server.ops`).
 """
 
 from __future__ import annotations
@@ -106,31 +116,68 @@ def parse_topology(spec: str, seed: int = None) -> Network:
     raise ValueError(f"unknown topology kind {kind!r} in {spec!r}")
 
 
-def _cmd_deploy(args: argparse.Namespace) -> int:
-    from repro.core import Backend, CoordinationAnalysis, Hermes
-    from repro.core.verification import verify_dataflow
+def _run_op(args: argparse.Namespace, op: str, params: dict, on_event=None):
+    """Run one control-plane op locally or via ``--connect``.
 
-    programs = parse_workload(args.workload, seed=args.seed)
-    network = parse_topology(args.topology, seed=args.seed)
-    hermes = Hermes(
-        mode=args.mode,
-        epsilon2=args.epsilon2,
-        time_limit_s=args.time_limit,
-        replicate_hubs="auto" if args.replicate else False,
-        solver_profile=args.solver_profile,
-    )
-    result = hermes.deploy(programs, network)
-    plan = result.plan
+    This is the CLI half of the server/CLI differential: the local
+    path calls exactly the op function a server session dispatches, so
+    the deterministic view of the document is byte-identical either
+    way.  With ``on_event`` set in connect mode, the client subscribes
+    first and streams the server's telemetry through the callback.
+    """
+    connect = getattr(args, "connect", None)
+    if connect:
+        from repro.server.client import ReproClient
+
+        with ReproClient.connect(connect) as client:
+            if on_event is not None:
+                client.subscribe()
+            return client.request(op, params, on_event=on_event)
+    from repro.server.ops import OP_FUNCTIONS
+
+    return OP_FUNCTIONS[op](params)
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    from repro.server.client import ServerError
+    from repro.server.ops import OpError
+
+    params = {
+        "workload": args.workload,
+        "topology": args.topology,
+        "seed": args.seed,
+        "mode": args.mode,
+        "epsilon2": args.epsilon2,
+        "time_limit_s": args.time_limit,
+        "solver_profile": args.solver_profile,
+        "replicate": args.replicate,
+        "verify": args.verify,
+        "configs": args.configs,
+    }
+    try:
+        doc = _run_op(args, "deploy", params)
+    except (OpError, ServerError, ConnectionError) as exc:
+        print(f"error: {exc}")
+        return 1
+    summary = doc["summary"]
     print(
-        f"deployed {len(plan.placements)} MATs from {len(programs)} "
-        f"programs on {plan.num_occupied_switches()} switches "
-        f"({network.name})"
+        f"deployed {summary['num_mats']} MATs from "
+        f"{summary['num_programs']} programs on "
+        f"{summary['occupied_switches']} switches ({summary['network']})"
     )
-    print(f"per-packet byte overhead (A_max): {plan.max_metadata_bytes()} B")
-    print(f"placement time: {result.solve_time_s * 1000:.1f} ms")
-    channels = CoordinationAnalysis(plan)
-    for (u, v), channel in sorted(channels.channels.items()):
-        print(f"  channel {u} -> {v}: {channel.declared_bytes} B")
+    print(
+        f"per-packet byte overhead (A_max): {summary['a_max_bytes']} B"
+    )
+    print(f"placement time: {doc['timing']['solve_time_s'] * 1000:.1f} ms")
+    for channel in summary["channels"]:
+        print(
+            f"  channel {channel['src']} -> {channel['dst']}: "
+            f"{channel['bytes']} B"
+        )
+    if args.explain or args.diagram or args.out:
+        from repro.plan import plan_from_dict
+
+        plan = plan_from_dict(doc["plan"])
     if args.explain:
         from repro.core.explain import explain_overhead
 
@@ -142,23 +189,22 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         print()
         print(render_plan(plan))
     if args.verify:
-        report = verify_dataflow(plan)
+        verification = doc["verification"]
         print(
-            f"dataflow verified: {report.reads_checked} reads, "
-            f"{report.rounds} traversal round(s)"
+            f"dataflow verified: {verification['reads_checked']} reads, "
+            f"{verification['rounds']} traversal round(s)"
         )
     if args.configs:
         import json
 
-        configs = Backend().compile(plan)
-        print(json.dumps({k: v.to_dict() for k, v in configs.items()}, indent=2))
+        print(json.dumps(doc["configs"], indent=2))
     if args.out:
         from repro.plan import write_plan
 
         write_plan(plan, args.out)
         print(
             f"wrote plan to {args.out} "
-            f"(fingerprint {plan.fingerprint()[:12]})"
+            f"(fingerprint {doc['fingerprint'][:12]})"
         )
     return 0
 
@@ -168,7 +214,6 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.plan import (
         DeploymentError,
         PlanSchemaError,
-        diff_plans,
         read_plan,
         write_plan,
     )
@@ -210,18 +255,29 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if args.plan_command == "diff":
         import json
 
+        from repro.server.client import ServerError
+        from repro.server.ops import OpError
+
         try:
             old = read_plan(args.old)
             new = read_plan(args.new)
         except (PlanSchemaError, OSError) as exc:
             print(f"cannot load plan: {exc}")
             return 2
-        diff = diff_plans(old, new)
-        print(diff.summary())
+        try:
+            doc = _run_op(
+                args,
+                "plan_diff",
+                {"old": old.to_dict(), "new": new.to_dict()},
+            )
+        except (OpError, ServerError, ConnectionError) as exc:
+            print(f"error: {exc}")
+            return 2
+        print(doc["summary"])
         if args.json_output:
-            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+            print(json.dumps(doc["diff"], indent=2, sort_keys=True))
         if args.exit_code:
-            return 0 if diff.is_empty else 1
+            return 0 if doc["is_empty"] else 1
         return 0
 
     raise AssertionError(args.plan_command)  # pragma: no cover
@@ -239,101 +295,69 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.reporting import Table
-    from repro.simulation.engine import (
-        EngineUnavailableError,
-        get_engine,
-    )
-    from repro.simulation.spec import (
-        E2E_HOPS,
-        SimulationSpec,
-        TrafficModel,
-    )
-    from repro.simulation.traces import TraceConfig, generate_trace
+    from repro.server.client import ServerError
+    from repro.server.ops import OpError
     from repro.telemetry import Recorder, attached
 
-    trace = (
-        generate_trace(
-            args.trace_seed, TraceConfig(num_flows=args.flows)
-        )
-        if args.flows
-        else None
-    )
-    traffic = TrafficModel(
-        packet_payload_bytes=args.payload,
-        message_bytes=args.message_bytes,
-    )
-    if args.overhead is not None:
-        if trace is None:
-            spec = SimulationSpec.uniform(
-                args.overhead,
-                packet_payload_bytes=args.payload,
-                message_bytes=args.message_bytes,
+    params = {
+        "workload": args.workload,
+        "topology": args.topology,
+        "seed": args.seed,
+        "mode": args.mode,
+        "time_limit_s": args.time_limit,
+        "solver_profile": args.solver_profile,
+        "engine": args.engine,
+        "load": args.load,
+        "overhead": args.overhead,
+        "flows": args.flows,
+        "trace_seed": args.trace_seed,
+        "payload": args.payload,
+        "message_bytes": args.message_bytes,
+    }
+    events = []
+    try:
+        if getattr(args, "connect", None):
+            doc = _run_op(
+                args,
+                "simulate",
+                params,
+                on_event=(
+                    (lambda frame: events.append(frame["data"]))
+                    if args.journal
+                    else None
+                ),
             )
         else:
-            from repro.simulation.netsim import uniform_path
-
-            spec = SimulationSpec.from_trace(
-                trace,
-                uniform_path(E2E_HOPS),
-                args.overhead,
-                packet_payload_bytes=args.payload,
-            )
-    else:
-        from repro.core import Hermes
-
-        programs = parse_workload(args.workload, seed=args.seed)
-        network = parse_topology(args.topology, seed=args.seed)
-        hermes = Hermes(
-            mode=args.mode,
-            time_limit_s=args.time_limit,
-            solver_profile=args.solver_profile,
-        )
-        plan = hermes.deploy(programs, network).plan
-        print(
-            f"deployed {len(plan.placements)} MATs on "
-            f"{plan.num_occupied_switches()} switches "
-            f"(A_max {plan.max_metadata_bytes()} B)"
-        )
-        spec = SimulationSpec.from_plan(
-            plan, network, traffic=traffic, trace=trace
-        )
-
-    recorder = Recorder()
-    try:
-        with attached(recorder):
-            result = get_engine(_resolve_engine(args)).evaluate(spec)
-    except EngineUnavailableError as exc:
-        print(f"engine unavailable: {exc}")
+            recorder = Recorder()
+            with attached(recorder):
+                doc = _run_op(args, "simulate", params)
+            events = recorder.events
+    except (OpError, ServerError, ConnectionError) as exc:
+        print(exc)
         return 1
+    if "deploy" in doc:
+        deployed = doc["deploy"]
+        print(
+            f"deployed {deployed['num_mats']} MATs on "
+            f"{deployed['occupied_switches']} switches "
+            f"(A_max {deployed['a_max_bytes']} B)"
+        )
     if args.journal:
         from repro.experiments.runner.telemetry import JournalWriter
 
         with JournalWriter(args.journal) as journal:
-            for event in recorder.events:
+            for event in events:
                 journal.write(event)
 
+    summary = dict(doc["summary"])
+    summary["wall_ms"] = doc["timing"]["wall_ms"]
     table = Table(
-        title=f"simulate: {spec.source} via {result.engine} engine",
+        title=(
+            f"simulate: {summary['source']} via "
+            f"{summary['engine']} engine"
+        ),
         headers=["metric", "value"],
     )
-    summary = {
-        "engine": result.engine,
-        "source": spec.source,
-        "flows": result.num_flows,
-        "paths": len(spec.paths),
-        "mean_fct_us": result.mean_fct_us,
-        "p99_fct_us": result.p99_fct_us,
-        "mean_slowdown": result.mean_slowdown,
-        "worst_fct_ratio": result.fct_ratio,
-        "worst_goodput_ratio": result.goodput_ratio,
-        "total_wire_mb": result.total_wire_bytes / 1e6,
-        "wall_ms": result.wall_s * 1e3,
-    }
-    if result.wait_us is not None:
-        summary["load"] = result.load
-        summary["mean_wait_us"] = result.mean_wait_us
-        summary["max_wait_us"] = result.max_wait_us
-        summary["contended_fraction"] = result.contended_fraction
     table.add_row(["flows", summary["flows"]])
     table.add_row(["paths", summary["paths"]])
     table.add_row(["mean FCT (us)", f"{summary['mean_fct_us']:.1f}"])
@@ -348,7 +372,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row(
         ["wire bytes (MB)", f"{summary['total_wire_mb']:.2f}"]
     )
-    if result.wait_us is not None:
+    if "mean_wait_us" in summary:
         table.add_row(["offered load", f"{summary['load']:.2f}"])
         table.add_row(
             ["mean wait (us)", f"{summary['mean_wait_us']:.2f}"]
@@ -375,12 +399,8 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 
     from repro.runtime import (
         DisruptionReport,
-        Reconciler,
-        ReconcilerPolicy,
         ScenarioError,
-        generate_scenario,
         read_scenario,
-        seed_rules,
         write_scenario,
     )
 
@@ -400,57 +420,70 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         print(report.render())
         return 0
 
+    from repro.server.client import ServerError
+    from repro.server.ops import OpError
+
+    params = {
+        "seed": args.seed,
+        "replan_budget_s": args.replan_budget,
+        "max_retries": args.max_retries,
+        "debounce_s": args.debounce,
+        "incremental": args.incremental,
+        "max_blast_fraction": args.max_blast_fraction,
+        "engine": args.engine,
+        "load": args.load,
+    }
     if args.churn_command == "run":
-        # Pin the effective seeds into the embedded specs so the saved
-        # scenario file replays identically with no extra flags.
-        workload_spec = _pin_spec_seed(args.workload, args.seed, "synthetic")
-        topology_spec = _pin_spec_seed(args.topology, args.seed, "wan")
-        network = parse_topology(topology_spec)
-        scenario = generate_scenario(
-            network,
-            num_events=args.events,
-            seed=args.seed if args.seed is not None else 0,
-            workload_spec=workload_spec,
-            topology_spec=topology_spec,
+        params.update(
+            workload=args.workload,
+            topology=args.topology,
+            events=args.events,
         )
-        if args.scenario_out:
-            write_scenario(scenario, args.scenario_out)
-            print(f"wrote scenario to {args.scenario_out}")
     else:  # replay: the scenario file is self-contained
         try:
-            scenario = read_scenario(args.scenario)
+            params["scenario"] = read_scenario(args.scenario).to_dict()
         except (ScenarioError, OSError) as exc:
             print(f"cannot load scenario: {exc}")
             return 1
-        network = parse_topology(scenario.topology_spec, seed=args.seed)
-    programs = parse_workload(scenario.workload_spec, seed=args.seed)
 
-    policy = ReconcilerPolicy(
-        replan_budget_s=args.replan_budget,
-        max_retries=args.max_retries,
-        debounce_s=args.debounce,
-        incremental=args.incremental,
-        max_blast_fraction=args.max_blast_fraction,
-    )
-    reconciler = Reconciler(
-        programs, network, policy=policy, prepare_fn=seed_rules
-    )
-    result = reconciler.run(scenario)
-    report = result.report(engine=args.engine, load=args.load)
+    connected = bool(getattr(args, "connect", None))
+    if connected and args.plans_dir:
+        print("--plans-dir needs the local plan store; drop --connect")
+        return 2
+    result = None
+    try:
+        if connected:
+            doc = _run_op(args, "churn_run", params)
+        else:
+            from repro.server.ops import churn_doc, run_churn
+
+            scenario, result, live_report = run_churn(params)
+            doc = churn_doc(scenario, result, live_report)
+    except (OpError, ServerError, ConnectionError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.churn_command == "run" and args.scenario_out:
+        from repro.runtime import Scenario
+
+        write_scenario(
+            Scenario.from_dict(doc["scenario"]), args.scenario_out
+        )
+        print(f"wrote scenario to {args.scenario_out}")
+    report = DisruptionReport.from_dict(doc["report"])
     print(report.render())
     if args.report_out:
         with open(args.report_out, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(doc["report"], fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote report to {args.report_out}")
-    if args.plans_dir:
+    if args.plans_dir and result is not None:
         paths = result.store.write_dir(args.plans_dir)
         print(
             f"wrote {len(paths) - 1} plan versions + history.json "
             f"to {args.plans_dir}"
         )
-    failed = [o for o in result.outcomes if not o.converged]
-    return 1 if failed and args.strict else 0
+    return 1 if args.strict and not doc["converged"] else 0
 
 
 def _pin_spec_seed(spec: str, seed: int, kind: str) -> str:
@@ -470,6 +503,27 @@ def _pin_spec_seed(spec: str, seed: int, kind: str) -> str:
             part = f"{part.strip()}:{seed}"
         parts.append(part)
     return "+".join(parts)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived control-plane daemon (``repro serve``)."""
+    from repro.server.service import ReproServer, serve_until_complete
+
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            journal=args.journal,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    serve_until_complete(server)
+    return 0
 
 
 def _make_runner(args: argparse.Namespace):
@@ -673,17 +727,6 @@ def _add_engine_flag(p: argparse.ArgumentParser, default) -> None:
     )
 
 
-def _resolve_engine(args: argparse.Namespace, default: str = "analytic"):
-    """``--engine``/``--load`` -> an engine name or configured instance."""
-    name = getattr(args, "engine", None)
-    load = getattr(args, "load", None)
-    if name == "contention" or load is not None:
-        from repro.simulation.contention import ContentionEngine
-
-        return ContentionEngine(load=load)
-    return name or default
-
-
 def _add_runner_flags(p: argparse.ArgumentParser) -> None:
     """The parallel-runner flag set shared by every experiment command."""
     p.add_argument(
@@ -701,6 +744,19 @@ def _add_runner_flags(p: argparse.ArgumentParser) -> None:
         "--journal",
         default=None,
         help="append JSONL runner/deploy/solver telemetry to this file",
+    )
+
+
+def _add_connect_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--connect",
+        default=None,
+        metavar="ADDR",
+        help=(
+            "run this op on a running 'repro serve' daemon instead of "
+            "in-process: HOST:PORT or a Unix socket path (results are "
+            "byte-identical either way)"
+        ),
     )
 
 
@@ -776,6 +832,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the canonical plan JSON document to this path",
     )
+    _add_connect_flag(d)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the long-lived control-plane daemon (JSON-lines RPC)",
+    )
+    sv.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address"
+    )
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (0 or omitted picks a free one)",
+    )
+    sv.add_argument(
+        "--socket",
+        default=None,
+        help="listen on this Unix socket path instead of TCP",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool width for micro-batched cold solves "
+            "(concurrent sessions' first deploys fan out together)"
+        ),
+    )
+    sv.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed cold-solve cache directory",
+    )
+    sv.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "persist each session's plan history here; a session "
+            "whose directory already exists resumes it"
+        ),
+    )
+    sv.add_argument(
+        "--journal",
+        default=None,
+        help="append every session telemetry event to this JSONL file",
+    )
 
     pl = sub.add_parser(
         "plan", help="export, validate or diff plan artifacts"
@@ -815,6 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when the plans differ (0 when identical)",
     )
+    _add_connect_flag(pd)
 
     ch = sub.add_parser(
         "churn", help="replay churn scenarios against a live deployment"
@@ -881,6 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="exit 1 when any event batch failed to converge",
         )
         _add_engine_flag(p, default="analytic")
+        _add_connect_flag(p)
 
     cr = churn_sub.add_parser(
         "run", help="generate a seeded scenario and reconcile through it"
@@ -978,6 +1083,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append sim.* telemetry JSONL to this file",
     )
+    _add_connect_flag(sim)
 
     return parser
 
@@ -992,6 +1098,8 @@ def main(argv: Sequence[str] = None) -> int:
         return _cmd_churn(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_experiment(args)
 
 

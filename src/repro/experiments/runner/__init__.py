@@ -28,6 +28,7 @@ from repro.experiments.runner.executor import (
     CellResult,
     ExperimentRunner,
     RunnerConfig,
+    RunnerInterrupted,
     execute_cells,
 )
 from repro.experiments.runner.telemetry import (
@@ -44,6 +45,7 @@ __all__ = [
     "JournalWriter",
     "ResultCache",
     "RunnerConfig",
+    "RunnerInterrupted",
     "cache_key",
     "count_events",
     "execute_cells",

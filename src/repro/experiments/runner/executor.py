@@ -27,7 +27,7 @@ parallel run is line-for-line comparable to a serial one.
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -100,6 +100,25 @@ class RunnerConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+
+
+class RunnerInterrupted(RuntimeError):
+    """A cell run was interrupted before every cell finished.
+
+    Raised by :meth:`ExperimentRunner.run_cells` when a
+    ``KeyboardInterrupt`` (or an outer cancellation) lands mid-run: the
+    pool has already been shut down cleanly — pending cells cancelled,
+    no workers left behind — and ``partial`` carries every
+    :class:`CellResult` that completed (cache hits included), in
+    submission order, so a caller can persist or report what it has.
+    """
+
+    def __init__(self, partial: List["CellResult"], total: int) -> None:
+        super().__init__(
+            f"interrupted with {len(partial)} of {total} cells complete"
+        )
+        self.partial = partial
+        self.total = total
 
 
 def _execute_cell(
@@ -192,10 +211,15 @@ class ExperimentRunner:
             pending.append(i)
 
         if pending:
-            if self.config.workers == 1:
-                self._run_serial(cells, pending, results)
-            else:
-                self._run_pool(cells, pending, results)
+            try:
+                if self.config.workers == 1:
+                    self._run_serial(cells, pending, results)
+                else:
+                    self._run_pool(cells, pending, results)
+            except (KeyboardInterrupt, CancelledError) as exc:
+                raise self._interrupted(
+                    cells, pending, results, keys
+                ) from exc
 
         for i, source in duplicates.items():
             origin = results[source]
@@ -245,16 +269,74 @@ class ExperimentRunner:
         results: List[Optional[CellResult]],
     ) -> None:
         workers = min(self.config.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = pool.map(
-                _pool_cell_worker,
-                [cells[i] for i in pending],
-                chunksize=1,
-            )
-            for i, (record, events, plan) in zip(pending, outcomes):
+        pool = self._executor_factory(max_workers=workers)
+        futures: Dict[int, Any] = {}
+        try:
+            for i in pending:
+                futures[i] = pool.submit(_pool_cell_worker, cells[i])
+            for i in pending:
+                record, events, plan = futures[i].result()
                 results[i] = CellResult(
                     cell=cells[i], record=record, events=events, plan=plan
                 )
+        except (KeyboardInterrupt, CancelledError):
+            # Interrupted mid-pool: harvest every cell that did finish
+            # (the in-order result() loop may not have consumed them
+            # yet), cancel the rest, and shut the pool down without
+            # waiting so no worker is left running — then let
+            # run_cells surface the partial results.
+            for i, fut in futures.items():
+                if results[i] is not None or not fut.done():
+                    continue
+                try:
+                    record, events, plan = fut.result(timeout=0)
+                except BaseException:
+                    continue
+                results[i] = CellResult(
+                    cell=cells[i], record=record, events=events, plan=plan
+                )
+            for fut in futures.values():
+                fut.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+
+    #: Pool class used by :meth:`_run_pool`; a hook so tests can run
+    #: the interrupt path deterministically on a thread pool.
+    _executor_factory = staticmethod(ProcessPoolExecutor)
+
+    def _interrupted(
+        self,
+        cells: Sequence[Cell],
+        pending: Sequence[int],
+        results: List[Optional[CellResult]],
+        keys: Sequence[Optional[str]],
+    ) -> RunnerInterrupted:
+        """Persist, journal and package what completed before an
+        interrupt; the returned exception carries the partial results."""
+        if self.cache is not None:
+            for i in pending:
+                res = results[i]
+                if res is not None and keys[i] is not None:
+                    self.cache.put(keys[i], res.record, plan=res.plan)
+        done = [
+            (res, keys[i])
+            for i, res in enumerate(results)
+            if res is not None
+        ]
+        partial = [res for res, _ in done]
+        self._journal_results(partial, [key for _, key in done])
+        if self.config.journal:
+            with JournalWriter(self.config.journal) as journal:
+                journal.write(
+                    {
+                        "kind": "runner.interrupted",
+                        "completed": len(partial),
+                        "total": len(cells),
+                    }
+                )
+        return RunnerInterrupted(partial, total=len(cells))
 
     def _journal_results(
         self,

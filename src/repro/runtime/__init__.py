@@ -54,7 +54,7 @@ from repro.runtime.scenario import (
     write_scenario,
 )
 from repro.runtime.state import WorldState
-from repro.runtime.store import PlanStore, PlanVersion
+from repro.runtime.store import PlanStore, PlanVersion, StoreReloadError
 
 __all__ = [
     "DisruptionReport",
@@ -65,6 +65,7 @@ __all__ = [
     "NetworkEvent",
     "PlanStore",
     "PlanVersion",
+    "StoreReloadError",
     "ReconcileResult",
     "Reconciler",
     "ReconcilerPolicy",

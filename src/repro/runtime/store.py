@@ -24,7 +24,11 @@ from typing import Any, Dict, List, Optional
 
 from repro.plan.artifact import DeploymentPlan
 from repro.plan.diff import PlanDiff, diff_plans
-from repro.plan.serialize import canonical_dumps, write_plan
+from repro.plan.serialize import canonical_dumps, read_plan, write_plan
+
+
+class StoreReloadError(ValueError):
+    """A written store directory cannot be reloaded faithfully."""
 
 
 @dataclass(frozen=True)
@@ -169,3 +173,59 @@ class PlanStore:
             fh.write("\n")
         paths.append(history)
         return paths
+
+    @classmethod
+    def read_dir(cls, directory: str) -> "PlanStore":
+        """Rebuild a store from a :meth:`write_dir` directory.
+
+        The server's session-recovery path: a reloaded store must be
+        indistinguishable from the one that was written — same
+        fingerprints, same per-step diffs, same ``history_digest()`` —
+        and appending to it must continue the history seamlessly.
+        Every plan document is re-read and re-fingerprinted, so a
+        tampered or truncated directory raises
+        :class:`StoreReloadError` instead of silently forking history.
+        """
+        history_path = os.path.join(directory, "history.json")
+        try:
+            with open(history_path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreReloadError(
+                f"cannot read {history_path}: {exc}"
+            ) from exc
+        store = cls()
+        for expected in doc.get("versions", []):
+            version = int(expected["version"])
+            fingerprint = expected["fingerprint"]
+            path = os.path.join(
+                directory, f"plan-{version:03d}-{fingerprint[:12]}.json"
+            )
+            try:
+                # Appending re-fingerprints (and re-diffs) the loaded
+                # plan, so a tampered document fails here rather than
+                # poisoning the history.
+                plan = read_plan(path)
+                entry = store.append(
+                    plan,
+                    time_s=float(expected["time_s"]),
+                    reason=expected["reason"],
+                )
+            except (OSError, ValueError, KeyError) as exc:
+                raise StoreReloadError(
+                    f"cannot load version {version}: {exc}"
+                ) from exc
+            if entry.fingerprint != fingerprint:
+                raise StoreReloadError(
+                    f"version {version} re-fingerprints to "
+                    f"{entry.fingerprint[:12]}, history recorded "
+                    f"{fingerprint[:12]}"
+                )
+        recorded = doc.get("history_digest")
+        if recorded is not None and store.history_digest() != recorded:
+            raise StoreReloadError(
+                "reloaded history digest "
+                f"{store.history_digest()[:12]} != recorded "
+                f"{recorded[:12]}"
+            )
+        return store

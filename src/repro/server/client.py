@@ -1,0 +1,143 @@
+"""Synchronous client for the control-plane daemon.
+
+:class:`ReproClient` speaks :mod:`repro.server.protocol` over TCP or
+a Unix socket.  It is deliberately blocking — the CLI's ``--connect``
+mode and the tests want a plain call-and-return surface, not another
+event loop:
+
+    with ReproClient.connect("127.0.0.1:7421") as client:
+        doc = client.request("deploy", {"workload": "real:10"})
+
+Telemetry events interleaved with a response (after ``subscribe``)
+are handed to the ``on_event`` callback as they arrive, in order;
+``seq`` gaps mean the server dropped frames (it never does today, but
+the contract lets a client check).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.server import protocol
+
+
+class ServerError(RuntimeError):
+    """An error envelope from the server, surfaced as an exception.
+
+    Attributes:
+        code: One of :data:`repro.server.protocol.ERROR_CODES`.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.server_message = message
+
+
+def parse_address(address: str) -> Union[Tuple[str, int], str]:
+    """``host:port`` -> a TCP tuple; anything path-like -> a Unix
+    socket path (``unix:`` prefix optional)."""
+    if address.startswith("unix:"):
+        return address[len("unix:"):]
+    if "/" in address or not (":" in address):
+        return address
+    host, port = address.rsplit(":", 1)
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        # "a:b" where b is not a port — treat as a relative path.
+        return address
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.service.ReproServer`."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls, address: str, timeout: Optional[float] = None
+    ) -> "ReproClient":
+        target = parse_address(address)
+        if isinstance(target, tuple):
+            sock = socket.create_connection(target, timeout=timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if timeout is not None:
+                sock.settimeout(timeout)
+            sock.connect(target)
+        return cls(sock)
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        op: str,
+        params: Optional[Mapping[str, Any]] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Send one request and block until its response.
+
+        Events arriving before the response are dispatched to
+        ``on_event`` (full event frames: ``seq`` + ``data``).  Raises
+        :class:`ServerError` on an error envelope.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        frame = protocol.request(request_id, op, params)
+        self._sock.sendall(protocol.encode_frame(frame))
+        while True:
+            received = self._read_frame()
+            if protocol.is_event(received):
+                if on_event is not None:
+                    on_event(received)
+                continue
+            if received.get("id") != request_id:
+                # A response to a request this client never sent on
+                # this connection — the stream is broken.
+                raise ServerError(
+                    "bad_frame",
+                    f"response id {received.get('id')!r} does not "
+                    f"match request id {request_id!r}",
+                )
+            if received.get("ok"):
+                return received.get("result", {})
+            err = received.get("error", {})
+            raise ServerError(
+                err.get("code", "internal"),
+                err.get("message", "unspecified server error"),
+            )
+
+    def subscribe(
+        self, on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> Dict[str, Any]:
+        return self.request("subscribe", on_event=on_event)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """Ask the daemon to stop (it answers before it goes)."""
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    def _read_frame(self) -> Dict[str, Any]:
+        line = self._rfile.readline(protocol.MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

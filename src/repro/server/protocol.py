@@ -1,0 +1,202 @@
+"""The wire protocol of the control-plane daemon: ``repro.server/v1``.
+
+Framing is JSON lines: every frame is one canonically serialized JSON
+object (sorted keys, compact separators — :func:`repro.plan.serialize.
+canonical_dumps`) terminated by a single ``\\n``, UTF-8 encoded.  A
+connection carries exactly three frame shapes:
+
+* **request** (client -> server)::
+
+      {"proto": "repro.server/v1", "id": 7, "op": "deploy",
+       "params": {...}}
+
+  ``id`` is a client-chosen correlation token (any JSON scalar);
+  ``op`` is one of :data:`OPS`; ``params`` is op-specific and
+  optional.
+
+* **response** (server -> client), exactly one per request::
+
+      {"proto": "repro.server/v1", "id": 7, "ok": true,
+       "result": {...}}
+      {"proto": "repro.server/v1", "id": 7, "ok": false,
+       "error": {"code": "invalid_params", "message": "..."}}
+
+  Error codes are :data:`ERROR_CODES`; anything the server raises
+  outside those maps to ``internal``.
+
+* **event** (server -> client, only after ``subscribe``)::
+
+      {"proto": "repro.server/v1", "event": "telemetry", "seq": 3,
+       "data": {"kind": "solver.lp", ...}}
+
+  Events interleave with responses on the same stream; clients route
+  by the presence of the ``event`` key.  ``seq`` increases by one per
+  event on a session, so a client can detect drops.
+
+Responses to the same request are byte-deterministic: the
+*deterministic view* of each op's result (see
+:func:`repro.server.ops.deterministic_view`) is the server/CLI
+differential contract — equal inputs must produce equal bytes whether
+a request runs through a server session or a one-shot CLI run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.plan.serialize import canonical_dumps
+
+#: Protocol identifier carried by every frame.
+PROTOCOL = "repro.server/v1"
+
+#: The operations a server session dispatches.
+OPS = frozenset(
+    {
+        "ping",
+        "deploy",
+        "plan_diff",
+        "simulate",
+        "churn_run",
+        "subscribe",
+        "session_info",
+        "shutdown",
+    }
+)
+
+#: Machine-readable error codes of the error envelope.
+ERROR_CODES = frozenset(
+    {
+        "bad_frame",       # not a JSON object / wrong proto / oversized
+        "unknown_op",      # op not in OPS
+        "invalid_params",  # op rejected its params
+        "internal",        # unexpected server-side failure
+        "shutting_down",   # request raced a shutdown
+    }
+)
+
+#: Hard cap on one frame's encoded size (a full plan document on a
+#: large WAN is ~1 MB; 64 MB leaves two orders of headroom while still
+#: bounding a hostile connection).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid frame.
+
+    Attributes:
+        code: One of :data:`ERROR_CODES`, ready for the error
+            envelope.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(frame: Mapping[str, Any]) -> bytes:
+    """Serialize one frame to its canonical wire form."""
+    blob = canonical_dumps(frame).encode("utf-8") + b"\n"
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "bad_frame", f"frame of {len(blob)} bytes exceeds cap"
+        )
+    return blob
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Validates only the envelope (shape, protocol marker) — op-level
+    validation is :func:`validate_request`'s job.
+    """
+    import json
+
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "bad_frame", f"frame of {len(line)} bytes exceeds cap"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_frame", f"not valid JSON: {exc}") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError("bad_frame", "frame is not a JSON object")
+    if frame.get("proto") != PROTOCOL:
+        raise ProtocolError(
+            "bad_frame",
+            f"unknown protocol {frame.get('proto')!r}; "
+            f"this server speaks {PROTOCOL}",
+        )
+    return frame
+
+
+def validate_request(frame: Mapping[str, Any]) -> None:
+    """Check a decoded frame is a well-formed request."""
+    if "id" not in frame:
+        raise ProtocolError("bad_frame", "request has no id")
+    if not isinstance(
+        frame["id"], (str, int, float, bool, type(None))
+    ):
+        raise ProtocolError("bad_frame", "request id must be a scalar")
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_frame", "request has no op")
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown_op",
+            f"unknown op {op!r}; supported: {', '.join(sorted(OPS))}",
+        )
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("invalid_params", "params must be an object")
+
+
+# ----------------------------------------------------------------------
+# Frame constructors
+# ----------------------------------------------------------------------
+def request(
+    request_id: Any, op: str, params: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"proto": PROTOCOL, "id": request_id, "op": op}
+    if params:
+        frame["params"] = dict(params)
+    return frame
+
+
+def response(request_id: Any, result: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "proto": PROTOCOL,
+        "id": request_id,
+        "ok": True,
+        "result": dict(result),
+    }
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        code = "internal"
+    return {
+        "proto": PROTOCOL,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def event_frame(
+    kind: str, seq: int, data: Mapping[str, Any]
+) -> Dict[str, Any]:
+    return {
+        "proto": PROTOCOL,
+        "event": kind,
+        "seq": seq,
+        "data": dict(data),
+    }
+
+
+def is_event(frame: Mapping[str, Any]) -> bool:
+    """Whether a received server frame is an event (vs a response)."""
+    return "event" in frame

@@ -1,0 +1,481 @@
+"""The asyncio control-plane daemon: ``repro serve``.
+
+One :class:`ReproServer` listens on a TCP port or a Unix socket and
+speaks :mod:`repro.server.protocol`.  Each connection gets its own
+:class:`~repro.server.session.Session` (plan history, warm-start
+state); requests on a connection dispatch concurrently — a slow
+``churn_run`` does not block a ``ping`` — with only the
+state-mutating ``deploy`` serialized per session.
+
+Work placement:
+
+* **warm deploys** and all other op bodies run on the server's own
+  thread pool (they are short or release the GIL rarely enough not to
+  matter for a control plane);
+* **cold solves** are micro-batched through one
+  :class:`~repro.experiments.runner.ExperimentRunner`: concurrent
+  cold deploys that arrive together leave in a single ``runner.map``
+  call, which fans out across the process pool when the server was
+  started with ``workers > 1`` (and inherits the runner's
+  content-addressed cache when ``cache_dir`` is set).
+
+Telemetry: ops attach a per-request bridge sink (context-local, so
+concurrent requests never cross), and every event is marshalled onto
+the event loop, where it is (a) streamed as an ``event`` frame to the
+owning connection if it subscribed and (b) appended to the server's
+JSONL journal if one was configured.  Cold solves that ran in pool
+worker processes journal through the runner instead — process
+boundaries do not stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.ops import (
+    OpError,
+    churn_op,
+    deploy_op,
+    resolve_params,
+    simulate_op,
+)
+from repro.server.session import Session
+from repro.telemetry import attached, tee
+
+#: Upper bound on threads running op bodies.  Most are parked waiting
+#: on the cold-solve queue; the solver drain has its own executor so
+#: it can never be starved by them.
+_OPS_THREADS = 128
+
+
+def _cold_deploy_job(params: Dict[str, Any]) -> Tuple[str, Any]:
+    """Pool-side cold solve; tagged so one bad item cannot sink the
+    whole micro-batch (``runner.map`` would re-raise through it)."""
+    try:
+        return ("ok", deploy_op(params))
+    except OpError as exc:
+        return ("invalid_params", str(exc))
+    except Exception as exc:  # pragma: no cover - defensive
+        return ("internal", f"{type(exc).__name__}: {exc}")
+
+
+class _Connection:
+    """Loop-side view of one client connection."""
+
+    def __init__(self, session: Session, writer: asyncio.StreamWriter):
+        self.session = session
+        self.writer = writer
+        self.send_lock = asyncio.Lock()
+        self.session_lock = asyncio.Lock()
+        self.tasks: set = set()
+        self.seq = 0
+
+    async def send(self, frame: Mapping[str, Any]) -> None:
+        async with self.send_lock:
+            self.writer.write(protocol.encode_frame(frame))
+            await self.writer.drain()
+
+    def post_event(self, event: Dict[str, Any]) -> None:
+        """Queue one telemetry event frame (loop thread only)."""
+        if not self.session.subscribed:
+            return
+        frame = protocol.event_frame("telemetry", self.seq, event)
+        self.seq += 1
+        task = asyncio.ensure_future(self.send(frame))
+        self.tasks.add(task)
+        task.add_done_callback(self.tasks.discard)
+
+
+class ReproServer:
+    """The daemon.  ``await start()``, then ``await serve_forever()``.
+
+    Args:
+        host/port: TCP endpoint (``port=0`` picks a free port).
+        socket_path: Unix socket endpoint (mutually exclusive with
+            TCP; preferred for local IPC).
+        workers: Process-pool width for micro-batched cold solves.
+        cache_dir: Content-addressed solve cache for the runner.
+        state_dir: Root directory for session persistence; each
+            session writes ``<state_dir>/<session_id>/``.
+        journal: JSONL path receiving every session telemetry event.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str] = None,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        state_dir: Optional[str] = None,
+        journal: Optional[str] = None,
+    ) -> None:
+        if port is not None and socket_path is not None:
+            raise ValueError("pick a TCP port or a Unix socket, not both")
+        self._host = host
+        self._port = port if socket_path is None else None
+        self._socket_path = socket_path
+        self._state_dir = state_dir
+        self._journal_path = journal
+        from repro.experiments.runner import ExperimentRunner
+
+        self._runner = ExperimentRunner(
+            workers=workers, cache_dir=cache_dir
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ops_pool = ThreadPoolExecutor(
+            max_workers=_OPS_THREADS, thread_name_prefix="repro-op"
+        )
+        self._solve_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-solve"
+        )
+        self._cold_queue: Optional[asyncio.Queue] = None
+        self._solver_task: Optional[asyncio.Task] = None
+        self._journal = None
+        self._stopping = asyncio.Event()
+        self._next_session = 0
+        self._connections: set = set()
+        self._handler_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound endpoint, in :func:`repro.server.client.
+        parse_address` syntax."""
+        if self._socket_path is not None:
+            return self._socket_path
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return f"{host}:{port}"
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._cold_queue = asyncio.Queue()
+        self._solver_task = asyncio.ensure_future(self._cold_solver())
+        if self._journal_path:
+            from repro.experiments.runner.telemetry import JournalWriter
+
+            self._journal = JournalWriter(self._journal_path)
+        if self._socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self._socket_path,
+                limit=protocol.MAX_FRAME_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self._host,
+                port=self._port or 0,
+                limit=protocol.MAX_FRAME_BYTES,
+            )
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`)."""
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def run(self) -> None:
+        await self.start()
+        await self.serve_forever()
+
+    def stop(self) -> None:
+        """Request shutdown (idempotent, loop thread only)."""
+        self._stopping.set()
+
+    def stop_threadsafe(self) -> None:
+        """Request shutdown from any thread (tests, signal handlers)."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.stop)
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            for task in list(conn.tasks):
+                task.cancel()
+            conn.writer.close()
+        for task in list(self._handler_tasks):
+            task.cancel()
+        if self._handler_tasks:
+            await asyncio.gather(
+                *self._handler_tasks, return_exceptions=True
+            )
+        if self._solver_task is not None:
+            self._solver_task.cancel()
+        self._ops_pool.shutdown(wait=False)
+        self._solve_pool.shutdown(wait=False)
+        if self._journal is not None:
+            self._journal.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _session_state_dir(self, session_id: str) -> Optional[str]:
+        if not self._state_dir:
+            return None
+        import os
+
+        return os.path.join(self._state_dir, session_id)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session_id = f"s{self._next_session:04d}"
+        self._next_session += 1
+        session = Session(
+            session_id, state_dir=self._session_state_dir(session_id)
+        )
+        conn = _Connection(session, writer)
+        self._connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._receive(conn, line)
+        except asyncio.CancelledError:
+            # Shutdown cancels live connection handlers; a handler
+            # parked in readline() has nothing left to unwind.
+            pass
+        finally:
+            self._connections.discard(conn)
+            for task in list(conn.tasks):
+                task.cancel()
+            writer.close()
+
+    async def _receive(self, conn: _Connection, line: bytes) -> None:
+        try:
+            frame = protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            await conn.send(
+                protocol.error_response(None, exc.code, str(exc))
+            )
+            return
+        try:
+            protocol.validate_request(frame)
+        except protocol.ProtocolError as exc:
+            await conn.send(
+                protocol.error_response(
+                    frame.get("id"), exc.code, str(exc)
+                )
+            )
+            return
+        task = asyncio.ensure_future(self._dispatch(conn, frame))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, conn: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        rid = frame["id"]
+        op = frame["op"]
+        params = frame.get("params") or {}
+        if self._stopping.is_set():
+            await conn.send(
+                protocol.error_response(
+                    rid, "shutting_down", "server is shutting down"
+                )
+            )
+            return
+        try:
+            result = await self._execute(conn, op, params)
+        except OpError as exc:
+            await conn.send(
+                protocol.error_response(rid, "invalid_params", str(exc))
+            )
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            await conn.send(
+                protocol.error_response(
+                    rid, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            )
+            return
+        await conn.send(protocol.response(rid, result))
+        if op == "shutdown":
+            self.stop()
+
+    async def _execute(
+        self, conn: _Connection, op: str, params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return {"pong": True, "protocol": protocol.PROTOCOL}
+        if op == "subscribe":
+            conn.session.subscribed = True
+            return {"subscribed": True, "next_seq": conn.seq}
+        if op == "session_info":
+            return conn.session.info()
+        if op == "shutdown":
+            return {"stopping": True}
+        if op == "deploy":
+            async with conn.session_lock:
+                return await self._in_ops_thread(
+                    conn,
+                    partial(
+                        conn.session.deploy,
+                        params,
+                        run_cold=self._pooled_cold,
+                    ),
+                )
+        if op == "plan_diff":
+            return await self._in_ops_thread(
+                conn, partial(conn.session.plan_diff, params)
+            )
+        if op == "simulate":
+            return await self._in_ops_thread(
+                conn, partial(simulate_op, params)
+            )
+        if op == "churn_run":
+            return await self._in_ops_thread(
+                conn, partial(churn_op, params)
+            )
+        raise AssertionError(op)  # unreachable: validate_request gates
+
+    async def _in_ops_thread(self, conn: _Connection, fn) -> Any:
+        """Run an op body on the thread pool with the bridge sink."""
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self._ops_pool, partial(self._with_sink, conn, fn)
+        )
+
+    def _with_sink(self, conn: _Connection, fn) -> Any:
+        """Worker-thread wrapper: telemetry -> loop -> client/journal.
+
+        The sink is context-local (:mod:`repro.telemetry` rides a
+        ContextVar), so concurrently executing ops on other threads
+        each see only their own bridge.
+        """
+        loop = self._loop
+
+        def bridge(event: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(self._fan_out_event, conn, event)
+
+        with attached(bridge):
+            return fn()
+
+    def _fan_out_event(
+        self, conn: _Connection, event: Dict[str, Any]
+    ) -> None:
+        conn.post_event(event)
+        if self._journal is not None:
+            self._journal.write(
+                {"session": conn.session.session_id, **event}
+            )
+            self._journal.flush()
+
+    # ------------------------------------------------------------------
+    # Micro-batched cold solving
+    # ------------------------------------------------------------------
+    def _pooled_cold(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Blocking cold solve, called from an ops thread.
+
+        Enqueues the request onto the loop-side batch queue and waits;
+        whatever is queued when the drain wakes leaves as one
+        ``runner.map`` call.
+        """
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self._enqueue_cold(params), self._loop
+        )
+        status, payload = future.result()
+        if status == "ok":
+            return payload
+        if status == "invalid_params":
+            raise OpError(payload)
+        raise RuntimeError(payload)
+
+    async def _enqueue_cold(
+        self, params: Dict[str, Any]
+    ) -> Tuple[str, Any]:
+        assert self._loop is not None and self._cold_queue is not None
+        done: asyncio.Future = self._loop.create_future()
+        # Params resolve here so the pool job and the cache key see the
+        # canonical form regardless of which defaults the client sent.
+        from repro.server.ops import DEPLOY_DEFAULTS
+
+        resolved = resolve_params(params, DEPLOY_DEFAULTS)
+        await self._cold_queue.put((resolved, done))
+        return await done
+
+    async def _cold_solver(self) -> None:
+        assert self._loop is not None and self._cold_queue is not None
+        while True:
+            batch: List[Tuple[Dict[str, Any], asyncio.Future]] = [
+                await self._cold_queue.get()
+            ]
+            while not self._cold_queue.empty():
+                batch.append(self._cold_queue.get_nowait())
+            items = [params for params, _ in batch]
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    self._solve_pool,
+                    partial(self._runner.map, _cold_deploy_job, items),
+                )
+            except asyncio.CancelledError:
+                for _, done in batch:
+                    if not done.done():
+                        done.cancel()
+                raise
+            except Exception as exc:
+                for _, done in batch:
+                    if not done.done():
+                        done.set_result(
+                            ("internal", f"{type(exc).__name__}: {exc}")
+                        )
+                continue
+            for (_, done), outcome in zip(batch, outcomes):
+                if not done.done():
+                    done.set_result(outcome)
+
+
+def serve_until_complete(server: ReproServer) -> None:
+    """Blocking convenience wrapper: run a server until shutdown.
+
+    KeyboardInterrupt stops the daemon cleanly (sessions flushed,
+    journal closed) instead of unwinding through the event loop.
+    """
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro.server listening on {server.address}")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover
+            raise
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+
+
+# `tee` is re-exported for callers composing extra sinks around ops.
+__all__ = ["ReproServer", "serve_until_complete", "tee"]

@@ -12,11 +12,15 @@ observation:
         solver.solve(model)
     assert rec.count("solver.lp") == solution.lp_solves
 
-Sinks are thread-local, so concurrently running solves (e.g. worker
-threads) never interleave their event streams.  Worker *processes*
-each carry their own bus; the experiment runner collects their recorded
-events through the task return value and serializes them into the
-per-run journal in deterministic order.
+Sinks are context-local (:class:`contextvars.ContextVar`), so
+concurrently running solves never interleave their event streams —
+whether they run in worker threads (each thread executes in its own
+context) or as asyncio tasks multiplexed on one event loop (the loop
+copies the context per task, so two server sessions awaiting on the
+same loop keep separate sinks).  Worker *processes* each carry their
+own bus; the experiment runner collects their recorded events through
+the task return value and serializes them into the per-run journal in
+deterministic order.
 
 The bus deliberately lives outside :mod:`repro.experiments` so that the
 low-level layers (``repro.milp``, ``repro.baselines``) can emit without
@@ -25,25 +29,33 @@ depending on the experiment machinery.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: A telemetry event: ``{"kind": <str>, **payload}``.
 Event = Dict[str, Any]
 Sink = Callable[[Event], None]
 
-_state = threading.local()
+#: The attached sink of the current execution context.  A ContextVar
+#: behaves exactly like the historical ``threading.local`` for plain
+#: threads (each thread starts unset and sees only its own
+#: attachments) but additionally follows asyncio tasks: the event loop
+#: runs every task in a copy of its spawning context, so sinks never
+#: leak between tasks sharing one loop thread.
+_sink_var: ContextVar[Optional[Sink]] = ContextVar(
+    "repro.telemetry.sink", default=None
+)
 
 
 def current_sink() -> Optional[Sink]:
-    """The sink attached to this thread, or None."""
-    return getattr(_state, "sink", None)
+    """The sink attached to this context, or None."""
+    return _sink_var.get()
 
 
 def emit(kind: str, **payload: Any) -> None:
     """Send one event to the attached sink (no-op without a sink)."""
-    sink = getattr(_state, "sink", None)
+    sink = _sink_var.get()
     if sink is None:
         return
     event: Event = {"kind": kind}
@@ -53,17 +65,16 @@ def emit(kind: str, **payload: Any) -> None:
 
 @contextmanager
 def attached(sink: Sink) -> Iterator[Sink]:
-    """Attach ``sink`` as this thread's event sink for the block.
+    """Attach ``sink`` as this context's event sink for the block.
 
     Nested attachments stack: the innermost sink wins and the previous
     one is restored on exit.
     """
-    previous = getattr(_state, "sink", None)
-    _state.sink = sink
+    token = _sink_var.set(sink)
     try:
         yield sink
     finally:
-        _state.sink = previous
+        _sink_var.reset(token)
 
 
 def tee(*sinks: Sink) -> Sink:

@@ -1,0 +1,145 @@
+"""Tests for graceful pool shutdown on interrupt.
+
+A ``KeyboardInterrupt`` mid-pool used to propagate straight through
+``ExperimentRunner.run_cells``, abandoning the worker pool (processes
+die noisily) and throwing away every cell that had already finished.
+The runner now catches it, shuts the pool down cleanly and surfaces
+the completed results through :class:`RunnerInterrupted`.
+
+The tests inject a thread pool (the ``_executor_factory`` hook) and a
+fake cell worker so the interrupt lands deterministically — the
+handling code under test is identical for threads and processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.baselines import HermesHeuristic
+from repro.experiments.harness import DeploymentRecord
+from repro.experiments.runner import (
+    Cell,
+    ExperimentRunner,
+    RunnerInterrupted,
+)
+from repro.experiments.runner import executor as executor_module
+
+
+def _record(tag: str) -> DeploymentRecord:
+    return DeploymentRecord(
+        framework="fake",
+        overhead_bytes=8,
+        solve_time_s=0.0,
+        timed_out=False,
+        occupied_switches=1,
+    )
+
+
+class _ScriptedWorker:
+    """A `_pool_cell_worker` stand-in driven by the cell tag.
+
+    ``interrupt`` tags raise KeyboardInterrupt; ``block`` tags wait on
+    the release event (so the test controls which cells are in flight
+    when the interrupt lands); everything else completes immediately.
+    """
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+
+    def __call__(self, cell: Cell):
+        if cell.tag == "interrupt":
+            raise KeyboardInterrupt
+        if cell.tag == "block":
+            self.release.wait(timeout=30)
+        return _record(cell.tag), [{"kind": "fake", "tag": cell.tag}], {
+            "tag": cell.tag
+        }
+
+
+@pytest.fixture
+def cells(six_programs, small_line):
+    framework = HermesHeuristic()
+
+    def make(tag: str) -> Cell:
+        # Distinct program tuples keep the cache keys distinct.
+        n = {"ok": 2, "interrupt": 3, "block": 4}.get(tag, 5)
+        return Cell(
+            programs=tuple(six_programs[:n]),
+            network=small_line,
+            framework=framework,
+            tag=tag,
+        )
+
+    return make
+
+
+@pytest.fixture
+def scripted(monkeypatch):
+    worker = _ScriptedWorker()
+    monkeypatch.setattr(executor_module, "_pool_cell_worker", worker)
+    monkeypatch.setattr(
+        ExperimentRunner, "_executor_factory", staticmethod(ThreadPoolExecutor)
+    )
+    yield worker
+    worker.release.set()  # never leave a blocked worker thread behind
+
+
+class TestPoolInterrupt:
+    def test_partial_results_surface(self, cells, scripted):
+        runner = ExperimentRunner(workers=2)
+        batch = [cells("ok"), cells("interrupt"), cells("block")]
+        with pytest.raises(RunnerInterrupted) as excinfo:
+            runner.run_cells(batch)
+        scripted.release.set()
+        err = excinfo.value
+        assert err.total == 3
+        assert [r.cell.tag for r in err.partial] == ["ok"]
+        assert err.partial[0].record.framework == "fake"
+        assert err.partial[0].events == [{"kind": "fake", "tag": "ok"}]
+        assert "1 of 3" in str(err)
+
+    def test_interrupt_chains_the_original(self, cells, scripted):
+        runner = ExperimentRunner(workers=2)
+        with pytest.raises(RunnerInterrupted) as excinfo:
+            runner.run_cells([cells("interrupt")])
+        assert isinstance(excinfo.value.__cause__, KeyboardInterrupt)
+
+    def test_completed_cells_reach_the_cache(
+        self, cells, scripted, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        runner = ExperimentRunner(workers=2, cache_dir=cache_dir)
+        ok = cells("ok")
+        with pytest.raises(RunnerInterrupted):
+            runner.run_cells([ok, cells("interrupt")])
+        scripted.release.set()
+        # A rerun of the completed cell is a pure cache hit: the fake
+        # worker would raise on anything it executes, so a hit proves
+        # the interrupt handler persisted the finished result.
+        again = ExperimentRunner(workers=1, cache_dir=cache_dir)
+        results = again.run_cells([ok])
+        assert results[0].cached
+        assert results[0].plan == {"tag": "ok"}
+
+    def test_interrupt_journals_what_finished(
+        self, cells, scripted, tmp_path
+    ):
+        journal = str(tmp_path / "journal.jsonl")
+        runner = ExperimentRunner(workers=2, journal=journal)
+        with pytest.raises(RunnerInterrupted):
+            runner.run_cells([cells("ok"), cells("interrupt")])
+        scripted.release.set()
+        from repro.experiments.runner import read_journal
+
+        kinds = [e["kind"] for e in read_journal(journal)]
+        assert "cell.done" in kinds
+        assert kinds[-1] == "runner.interrupted"
+
+    def test_clean_runs_are_unchanged(self, cells, scripted):
+        runner = ExperimentRunner(workers=2)
+        results = runner.run_cells([cells("ok"), cells("other")])
+        assert [r.cell.tag for r in results] == ["ok", "other"]
+        assert all(not r.cached for r in results)

@@ -98,3 +98,90 @@ class TestStore:
         for version in doc["versions"]:
             assert "a_max_bytes" in version
             assert "occupied_switches" in version
+
+
+class TestReadDir:
+    """write_dir -> read_dir round trips: the session-recovery path."""
+
+    def test_reload_reproduces_the_history(self, store, tmp_path):
+        directory = str(tmp_path / "plans")
+        store.write_dir(directory)
+        reloaded = PlanStore.read_dir(directory)
+        assert len(reloaded) == len(store)
+        assert reloaded.fingerprints() == store.fingerprints()
+        assert reloaded.history_digest() == store.history_digest()
+        assert [v.time_s for v in reloaded.versions] == [0.0, 1.0, 2.0]
+        assert [v.reason for v in reloaded.versions] == [
+            "initial", "replan", "replan",
+        ]
+
+    def test_reload_reproduces_per_step_diffs(self, store, tmp_path):
+        directory = str(tmp_path / "plans")
+        store.write_dir(directory)
+        reloaded = PlanStore.read_dir(directory)
+        originals = [d.to_dict() for d in store.diffs()]
+        recovered = [d.to_dict() for d in reloaded.diffs()]
+        assert recovered == originals
+        assert (
+            reloaded.end_to_end_diff().to_dict()
+            == store.end_to_end_diff().to_dict()
+        )
+
+    def test_append_after_reload_continues_the_digest(
+        self, store, plans, tmp_path
+    ):
+        """Appending to a reloaded store must equal appending to the
+        original: digest continuity is what lets a server session pick
+        a history back up from disk."""
+        directory = str(tmp_path / "plans")
+        store.write_dir(directory)
+        reloaded = PlanStore.read_dir(directory)
+        # The same next plan lands on both histories.
+        store.append(plans[0], time_s=3.0, reason="replan")
+        reloaded.append(plans[0], time_s=3.0, reason="replan")
+        assert reloaded.history_digest() == store.history_digest()
+        assert (
+            reloaded.diffs()[-1].to_dict() == store.diffs()[-1].to_dict()
+        )
+
+    def test_reload_then_rewrite_is_stable(self, store, tmp_path):
+        first = str(tmp_path / "a")
+        second = str(tmp_path / "b")
+        store.write_dir(first)
+        reloaded = PlanStore.read_dir(first)
+        reloaded.write_dir(second)
+        with open(first + "/history.json") as fh:
+            original = json.load(fh)
+        with open(second + "/history.json") as fh:
+            rewritten = json.load(fh)
+        assert rewritten == original
+
+    def test_missing_plan_file_raises(self, store, tmp_path):
+        import os
+
+        from repro.runtime import StoreReloadError
+
+        directory = str(tmp_path / "plans")
+        paths = store.write_dir(directory)
+        os.remove(paths[1])
+        with pytest.raises(StoreReloadError, match="version 1"):
+            PlanStore.read_dir(directory)
+
+    def test_tampered_plan_raises(self, store, tmp_path):
+        from repro.runtime import StoreReloadError
+
+        directory = str(tmp_path / "plans")
+        paths = store.write_dir(directory)
+        with open(paths[2]) as fh:
+            doc = json.load(fh)
+        doc["placements"] = {}
+        with open(paths[2], "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(StoreReloadError):
+            PlanStore.read_dir(directory)
+
+    def test_empty_directory_raises(self, tmp_path):
+        from repro.runtime import StoreReloadError
+
+        with pytest.raises(StoreReloadError, match="history.json"):
+            PlanStore.read_dir(str(tmp_path / "nothing"))

@@ -1,0 +1,53 @@
+"""Shared fixtures: a real daemon on a Unix socket, per test."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.server.service import ReproServer
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """Start ReproServer instances on their own event-loop threads.
+
+    Yields a ``start(**kwargs) -> ReproServer`` callable; every server
+    it started is stopped (cleanly, through the loop) at teardown.
+    """
+    started = []
+
+    def start(**kwargs):
+        kwargs.setdefault(
+            "socket_path", str(tmp_path / f"repro-{len(started)}.sock")
+        )
+        server = ReproServer(**kwargs)
+        ready = threading.Event()
+
+        def run():
+            async def main():
+                await server.start()
+                ready.set()
+                await server.serve_forever()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(30), "server failed to start"
+        started.append((server, thread))
+        return server
+
+    yield start
+
+    for server, thread in started:
+        if thread.is_alive():
+            server.stop_threadsafe()
+            thread.join(30)
+        assert not thread.is_alive(), "server failed to stop"
+
+
+@pytest.fixture
+def server(server_factory):
+    """One plain daemon (no persistence, serial cold solves)."""
+    return server_factory()

@@ -1,0 +1,120 @@
+"""The server/CLI byte differential.
+
+The contract (:func:`repro.server.ops.deterministic_view`): for equal
+params, the deterministic portion of every op's result document is
+byte-identical whether it was produced by
+
+* a one-shot in-process op call (what the CLI runs without
+  ``--connect``),
+* a cold server session,
+* a warm server session (repeat deploy through the incremental
+  rebase), or
+* a recovered server session after a daemon restart.
+
+Each test canonicalizes with the plan-artifact ``canonical_dumps`` and
+compares raw bytes — no approx, no field cherry-picking.
+"""
+
+from repro.plan.serialize import canonical_dumps
+from repro.server.client import ReproClient
+from repro.server.ops import (
+    churn_op,
+    deploy_op,
+    deterministic_view,
+    plan_diff_op,
+    simulate_op,
+)
+
+DEPLOY = {"workload": "real:6", "topology": "wan:12:18", "seed": 3}
+SIMULATE = {
+    "workload": "real:6",
+    "topology": "linear:3",
+    "flows": 200,
+    "engine": "batch",
+}
+CHURN = {"workload": "real:6", "topology": "wan:12:18", "seed": 2, "events": 3}
+
+
+def view_bytes(op, doc):
+    return canonical_dumps(deterministic_view(op, doc)).encode()
+
+
+class TestDeployDifferential:
+    def test_cold_warm_and_oneshot_agree(self, server):
+        local = view_bytes("deploy", deploy_op(DEPLOY))
+        with ReproClient.connect(server.address) as client:
+            cold = client.request("deploy", DEPLOY)
+            warm = client.request("deploy", DEPLOY)
+        assert cold["session"]["source"] == "cold"
+        assert warm["session"]["source"] == "warm:rebase"
+        assert view_bytes("deploy", cold) == local
+        assert view_bytes("deploy", warm) == local
+
+    def test_decorated_deploy_agrees(self, server):
+        params = {**DEPLOY, "verify": True, "configs": True}
+        local = view_bytes("deploy", deploy_op(params))
+        with ReproClient.connect(server.address) as client:
+            client.request("deploy", DEPLOY)  # prime the warm path
+            warm = client.request("deploy", params)
+        # verify/configs do not affect the solve, so the second deploy
+        # stays warm yet still byte-matches the decorated one-shot.
+        assert warm["session"]["source"] == "warm:rebase"
+        assert view_bytes("deploy", warm) == local
+
+    def test_recovered_session_agrees(self, server_factory, tmp_path):
+        local = view_bytes("deploy", deploy_op(DEPLOY))
+        state = str(tmp_path / "state")
+        first = server_factory(state_dir=state)
+        with ReproClient.connect(first.address) as client:
+            client.request("deploy", DEPLOY)
+        first.stop_threadsafe()
+        second = server_factory(state_dir=state)
+        with ReproClient.connect(second.address) as client:
+            recovered = client.request("deploy", DEPLOY)
+        assert recovered["session"]["source"] == "warm:rebase"
+        assert view_bytes("deploy", recovered) == local
+
+
+class TestSimulateDifferential:
+    def test_server_and_oneshot_agree(self, server):
+        local = view_bytes("simulate", simulate_op(SIMULATE))
+        with ReproClient.connect(server.address) as client:
+            remote = client.request("simulate", SIMULATE)
+        assert view_bytes("simulate", remote) == local
+
+    def test_scalar_overhead_mode_agrees(self, server):
+        params = {"overhead": 48, "flows": 100}
+        local = view_bytes("simulate", simulate_op(params))
+        with ReproClient.connect(server.address) as client:
+            remote = client.request("simulate", params)
+        assert view_bytes("simulate", remote) == local
+
+
+class TestChurnDifferential:
+    def test_generated_scenario_agrees(self, server):
+        local = view_bytes("churn_run", churn_op(CHURN))
+        with ReproClient.connect(server.address) as client:
+            remote = client.request("churn_run", CHURN)
+        assert view_bytes("churn_run", remote) == local
+
+    def test_replay_agrees_with_generation(self, server):
+        generated = churn_op(CHURN)
+        with ReproClient.connect(server.address) as client:
+            replayed = client.request(
+                "churn_run",
+                {"scenario": generated["scenario"], "seed": CHURN["seed"]},
+            )
+        assert view_bytes("churn_run", replayed) == view_bytes(
+            "churn_run", generated
+        )
+
+
+class TestPlanDiffDifferential:
+    def test_server_and_oneshot_agree(self, server):
+        old = deploy_op(DEPLOY)["plan"]
+        new = deploy_op({**DEPLOY, "workload": "real:7"})["plan"]
+        params = {"old": old, "new": new}
+        local = view_bytes("plan_diff", plan_diff_op(params))
+        with ReproClient.connect(server.address) as client:
+            remote = client.request("plan_diff", params)
+        assert view_bytes("plan_diff", remote) == local

@@ -1,0 +1,117 @@
+"""Unit tests for the repro.server/v1 wire protocol."""
+
+import json
+
+import pytest
+
+from repro.server import protocol
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        frame = protocol.request(7, "deploy", {"workload": "real:4"})
+        blob = protocol.encode_frame(frame)
+        assert blob.endswith(b"\n")
+        assert blob.count(b"\n") == 1
+        assert protocol.decode_frame(blob[:-1]) == frame
+
+    def test_encoding_is_canonical(self):
+        a = protocol.encode_frame(
+            {"proto": protocol.PROTOCOL, "id": 1, "op": "ping"}
+        )
+        b = protocol.encode_frame(
+            {"op": "ping", "id": 1, "proto": protocol.PROTOCOL}
+        )
+        assert a == b
+        # Compact separators, sorted keys — the plan-artifact canon.
+        assert b": " not in a and b'"id"' in a
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_frame(b"{nope")
+        assert err.value.code == "bad_frame"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_frame(b"[1, 2]")
+        assert err.value.code == "bad_frame"
+
+    def test_decode_rejects_wrong_protocol(self):
+        line = json.dumps({"proto": "repro.server/v0", "id": 0}).encode()
+        with pytest.raises(protocol.ProtocolError, match="repro.server/v1"):
+            protocol.decode_frame(line)
+
+    def test_decode_rejects_oversized_frame(self):
+        line = b"x" * (protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(protocol.ProtocolError, match="exceeds cap"):
+            protocol.decode_frame(line)
+
+
+class TestRequestValidation:
+    def _frame(self, **overrides):
+        frame = {"proto": protocol.PROTOCOL, "id": 1, "op": "ping"}
+        frame.update(overrides)
+        return frame
+
+    def test_accepts_well_formed(self):
+        protocol.validate_request(self._frame())
+        protocol.validate_request(self._frame(params={"a": 1}))
+        protocol.validate_request(self._frame(id="abc"))
+
+    def test_rejects_missing_id(self):
+        frame = self._frame()
+        del frame["id"]
+        with pytest.raises(protocol.ProtocolError, match="no id"):
+            protocol.validate_request(frame)
+
+    def test_rejects_structured_id(self):
+        with pytest.raises(protocol.ProtocolError, match="scalar"):
+            protocol.validate_request(self._frame(id=[1]))
+
+    def test_rejects_missing_op(self):
+        frame = self._frame()
+        del frame["op"]
+        with pytest.raises(protocol.ProtocolError, match="no op"):
+            protocol.validate_request(frame)
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request(self._frame(op="teleport"))
+        assert err.value.code == "unknown_op"
+
+    def test_rejects_non_object_params(self):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.validate_request(self._frame(params=[1]))
+        assert err.value.code == "invalid_params"
+
+
+class TestEnvelopes:
+    def test_response_shape(self):
+        frame = protocol.response(3, {"x": 1})
+        assert frame == {
+            "proto": protocol.PROTOCOL,
+            "id": 3,
+            "ok": True,
+            "result": {"x": 1},
+        }
+        assert not protocol.is_event(frame)
+
+    def test_error_shape_and_code_fallback(self):
+        frame = protocol.error_response(3, "invalid_params", "boom")
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "invalid_params"
+        # Unknown codes degrade to internal rather than leaking.
+        assert (
+            protocol.error_response(3, "weird", "x")["error"]["code"]
+            == "internal"
+        )
+
+    def test_event_shape(self):
+        frame = protocol.event_frame("telemetry", 5, {"kind": "sim.x"})
+        assert protocol.is_event(frame)
+        assert frame["seq"] == 5
+        assert frame["data"]["kind"] == "sim.x"
+
+    def test_protocol_error_requires_known_code(self):
+        err = protocol.ProtocolError("bad_frame", "nope")
+        assert err.code in protocol.ERROR_CODES

@@ -1,0 +1,132 @@
+"""Tests for the context-local telemetry bus.
+
+The regression that matters here: sinks used to live in a
+``threading.local``, which does not follow asyncio tasks — two server
+sessions multiplexed on one event loop would interleave (or steal)
+each other's event streams.  The bus now stores the sink in a
+:class:`contextvars.ContextVar`, which is a drop-in for threads and
+correct for tasks; these tests pin both behaviours.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.telemetry import Recorder, attached, current_sink, emit, tee
+
+
+class TestBusBasics:
+    def test_emit_without_sink_is_noop(self):
+        emit("unobserved", value=1)  # must not raise
+        assert current_sink() is None
+
+    def test_attach_and_emit(self):
+        rec = Recorder()
+        with attached(rec):
+            assert current_sink() is rec
+            emit("solver.lp", nodes=3)
+        assert current_sink() is None
+        assert rec.count("solver.lp") == 1
+        assert rec.events[0] == {"kind": "solver.lp", "nodes": 3}
+
+    def test_nested_attachments_stack(self):
+        outer, inner = Recorder(), Recorder()
+        with attached(outer):
+            emit("a")
+            with attached(inner):
+                emit("b")
+            emit("c")
+        assert [e["kind"] for e in outer.events] == ["a", "c"]
+        assert [e["kind"] for e in inner.events] == ["b"]
+
+    def test_tee_fans_out_in_order(self):
+        first, second = Recorder(), Recorder()
+        with attached(tee(first, second)):
+            emit("x", i=0)
+            emit("y", i=1)
+        assert first.events == second.events
+        assert [e["kind"] for e in first.events] == ["x", "y"]
+
+
+class TestThreadIsolation:
+    def test_threads_never_share_a_sink(self):
+        """The historical thread-local contract still holds."""
+        results = {}
+
+        def worker(name: str) -> None:
+            rec = Recorder()
+            with attached(rec):
+                for i in range(50):
+                    emit(name, i=i)
+            results[name] = rec.events
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, events in results.items():
+            assert len(events) == 50
+            assert all(e["kind"] == name for e in events)
+
+    def test_fresh_thread_starts_unattached(self):
+        seen = {}
+        with attached(Recorder()):
+            t = threading.Thread(
+                target=lambda: seen.setdefault("sink", current_sink())
+            )
+            t.start()
+            t.join()
+        assert seen["sink"] is None
+
+
+class TestTaskIsolation:
+    """Two sessions on one event loop keep separate event streams."""
+
+    def test_two_concurrently_attached_sinks_on_one_loop(self):
+        async def session(name: str, rec: Recorder, gate: asyncio.Event):
+            with attached(rec):
+                emit(name, step="before")
+                # Yield control while attached: under threading.local
+                # the other task's attach would overwrite this task's
+                # sink and both streams would land in one recorder.
+                await gate.wait()
+                emit(name, step="after")
+                await asyncio.sleep(0)
+                emit(name, step="last")
+
+        async def main():
+            a, b = Recorder(), Recorder()
+            gate = asyncio.Event()
+            ta = asyncio.ensure_future(session("alpha", a, gate))
+            tb = asyncio.ensure_future(session("beta", b, gate))
+            await asyncio.sleep(0)  # both tasks attach, then suspend
+            gate.set()
+            await asyncio.gather(ta, tb)
+            return a, b
+
+        a, b = asyncio.run(main())
+        assert [e["kind"] for e in a.events] == ["alpha"] * 3
+        assert [e["kind"] for e in b.events] == ["beta"] * 3
+
+    def test_task_attachment_does_not_leak_to_loop(self):
+        async def main():
+            rec = Recorder()
+
+            async def attach_and_finish():
+                with attached(rec):
+                    emit("inner")
+                    await asyncio.sleep(0)
+
+            await asyncio.ensure_future(attach_and_finish())
+            # Back in the loop's own context: nothing attached.
+            emit("outer.lost")
+            return rec, current_sink()
+
+        rec, sink_after = asyncio.run(main())
+        assert [e["kind"] for e in rec.events] == ["inner"]
+        assert sink_after is None
