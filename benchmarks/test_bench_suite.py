@@ -1,0 +1,122 @@
+"""Benchmark: the suite compiler's cache economics.
+
+Measures the point of declaring experiments as ``repro.suite/v1``
+documents: every cell is content-addressed, so a rerun of the same
+spec replays entirely from the result cache instead of re-solving.
+Two timed runs of one deployment matrix through ``run_suite`` against
+a shared cache directory:
+
+* **cold** — every cell solved, records written to the cache;
+* **warm** — every cell replayed (``cached_cells == num_cells``),
+  tables byte-identical to the cold run.
+
+The contract test asserts the warm rerun is fully cached and at least
+2x faster than the cold run.  Results are written to
+``BENCH_suite.json`` at the repo root (the weekly solver-sweep
+workflow uploads it as an artifact).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.suite import SuiteSpec, run_suite
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPORT_PATH = os.path.join(_REPO_ROOT, "BENCH_suite.json")
+
+#: A reduced-but-representative deployment matrix: two real-slice
+#: workloads on a linear testbed and a seeded WAN, solved by the
+#: sub-second framework classes (greedy chains + the heuristic).
+SPEC_DOC = {
+    "suite": "repro.suite/v1",
+    "name": "bench",
+    "kind": "deployment",
+    "axes": {
+        "workloads": [
+            {"spec": "real:2", "tag": 2},
+            {"spec": "real:4", "tag": 4},
+        ],
+        "topologies": [
+            "linear-3",
+            {"spec": "wan:8:12:1", "tag": "wan8"},
+        ],
+        "frameworks": ["ffl", "ffls", "hermes"],
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def suite_records(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("suite-bench") / "cache")
+    spec = SuiteSpec.from_dict(SPEC_DOC)
+
+    start = time.perf_counter()
+    cold = run_suite(spec, runner=ExperimentRunner(cache_dir=cache_dir))
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_suite(spec, runner=ExperimentRunner(cache_dir=cache_dir))
+    warm_s = time.perf_counter() - start
+
+    payload = {
+        "spec": SPEC_DOC,
+        "cold": {
+            "wall_s": round(cold_s, 4),
+            "cached_cells": cold.cached_cells,
+        },
+        "warm": {
+            "wall_s": round(warm_s, 4),
+            "cached_cells": warm.cached_cells,
+        },
+        "tables_identical": warm.tables == cold.tables,
+        "summary": {
+            "cells": cold.num_cells,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "cells_per_s": round(cold.num_cells / max(warm_s, 1e-9), 1),
+            "cache_hit_speedup": round(cold_s / max(warm_s, 1e-9), 1),
+        },
+    }
+    with open(_REPORT_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return {"cold": cold, "warm": warm, "payload": payload}
+
+
+def test_bench_suite_cold_run_solves_every_cell(suite_records):
+    cold = suite_records["cold"]
+    assert cold.num_cells == 12
+    assert cold.cached_cells == 0
+
+
+def test_bench_suite_warm_rerun_is_fully_cached(suite_records):
+    """The headline contract: the rerun replays 100% from the cache
+    and renders byte-identical tables."""
+    cold, warm = suite_records["cold"], suite_records["warm"]
+    assert warm.cached_cells == warm.num_cells == cold.num_cells
+    assert warm.tables == cold.tables
+    assert warm.render() == cold.render()
+
+
+def test_bench_suite_cache_speedup(suite_records):
+    summary = suite_records["payload"]["summary"]
+    assert summary["cache_hit_speedup"] >= 2.0, summary
+
+
+def test_bench_suite_report(suite_records):
+    from conftest import record_report
+
+    summary = suite_records["payload"]["summary"]
+    rows = [
+        "Suite compiler: content-addressed cache replay "
+        f"({summary['cells']}-cell deployment matrix)",
+        f"cold {summary['cold_s']:.2f} s, warm {summary['warm_s']:.3f} s "
+        f"-> {summary['cache_hit_speedup']:.0f}x "
+        f"({summary['cells_per_s']:.0f} cells/s warm)",
+    ]
+    record_report("\n".join(rows))
+    assert os.path.exists(_REPORT_PATH)

@@ -23,6 +23,9 @@ Run any paper experiment or an ad-hoc deployment without writing code:
     python -m repro serve --socket /tmp/repro.sock --workers 4
     python -m repro deploy --workload real:10 --topology wan:16:24 \
         --connect /tmp/repro.sock
+    python -m repro suite list
+    python -m repro suite run exp2 --workers 4 --out exp2-report.json
+    python -m repro suite run my-sweep.yaml --connect /tmp/repro.sock
 
 Workload specs: ``real:N`` (switch.p4 slices), ``sketches:N``,
 ``synthetic:N[:seed]`` or combinations joined with ``+``.  Topology
@@ -50,9 +53,7 @@ import sys
 from typing import List, Sequence
 
 from repro.dataplane.program import Program
-from repro.network.generators import fat_tree, linear_topology, random_wan
 from repro.network.topology import Network
-from repro.network.topozoo import topology_zoo_wan
 
 
 def parse_workload(spec: str, seed: int = None) -> List[Program]:
@@ -93,27 +94,15 @@ def parse_workload(spec: str, seed: int = None) -> List[Program]:
 def parse_topology(spec: str, seed: int = None) -> Network:
     """Parse a topology spec into a network.
 
+    Accepts the generator grammar (``zoo:ID``, ``linear:N``,
+    ``fattree:K``, ``wan:NODES:EDGES[:SEED]``) and every named preset
+    of :mod:`repro.network.catalog` (``testbed``, ``topozoo-3``, ...).
     ``seed`` (the CLI ``--seed`` flag) seeds the random WAN generator
     unless the spec pins its own (``wan:NODES:EDGES:SEED``).
     """
-    fields = spec.strip().split(":")
-    kind = fields[0]
-    if kind == "zoo":
-        return topology_zoo_wan(int(fields[1]))
-    if kind == "linear":
-        return linear_topology(int(fields[1]))
-    if kind == "fattree":
-        return fat_tree(int(fields[1]))
-    if kind == "wan":
-        nodes, edges = int(fields[1]), int(fields[2])
-        if len(fields) > 3:
-            wan_seed = int(fields[3])
-        elif seed is not None:
-            wan_seed = seed
-        else:
-            wan_seed = 0
-        return random_wan(nodes, edges, seed=wan_seed)
-    raise ValueError(f"unknown topology kind {kind!r} in {spec!r}")
+    from repro.network.catalog import resolve
+
+    return resolve(spec, seed=seed)
 
 
 def _run_op(args: argparse.Namespace, op: str, params: dict, on_event=None):
@@ -484,6 +473,107 @@ def _cmd_churn(args: argparse.Namespace) -> int:
             f"to {args.plans_dir}"
         )
     return 1 if args.strict and not doc["converged"] else 0
+
+
+def _suite_footer(report) -> str:
+    """The one-line summary printed after a suite's tables."""
+    return (
+        f"suite {report.name} ({report.kind}): "
+        f"{report.num_cells} cells, {report.cached_cells} cached"
+    )
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    """The ``suite run|list|validate|report`` subcommands.
+
+    ``run`` prints the aggregated tables exactly as the legacy
+    experiment commands did (the summary footer comes after a blank
+    line, so the tables region stays byte-identical); ``--connect``
+    routes the compile through a running daemon and streams per-cell
+    telemetry to stderr.
+    """
+    from repro.suite import SuiteSpecError, cell_plan, load_spec
+
+    if args.suite_command == "list":
+        from repro.experiments.reporting import Table
+        from repro.suite import shipped_specs
+
+        table = Table(
+            "shipped suite specs (repro suite run NAME)",
+            ["name", "kind", "cells", "title"],
+        )
+        for name, spec in shipped_specs().items():
+            table.add_row(
+                [name, spec.kind, len(cell_plan(spec)), spec.title or name]
+            )
+        print(table.render())
+        return 0
+
+    if args.suite_command == "report":
+        from repro.suite import SuiteReport
+
+        try:
+            report = SuiteReport.load(args.report)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load report: {exc}")
+            return 1
+        print(report.render())
+        print()
+        print(_suite_footer(report))
+        return 0
+
+    try:
+        spec = load_spec(args.spec)
+    except (SuiteSpecError, ValueError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+    if args.suite_command == "validate":
+        coords = cell_plan(spec)
+        print(
+            f"valid: {spec.name} ({spec.kind}), {len(coords)} cells"
+        )
+        for coord in coords:
+            print(
+                "  " + " ".join(f"{k}={v}" for k, v in coord.items())
+            )
+        return 0
+
+    # run
+    from repro.server.client import ServerError
+    from repro.server.ops import OpError
+    from repro.suite import SuiteReport, run_suite
+
+    if getattr(args, "connect", None):
+
+        def on_event(frame):
+            data = frame.get("data", {})
+            kind = data.get("kind", "")
+            if not kind.startswith("suite."):
+                return
+            detail = " ".join(
+                f"{k}={v}"
+                for k, v in sorted(data.items())
+                if k != "kind"
+            )
+            print(f"[{kind}] {detail}", file=sys.stderr)
+
+        params = {"spec": spec.to_dict(), "workers": args.workers}
+        try:
+            doc = _run_op(args, "suite_run", params, on_event=on_event)
+        except (OpError, ServerError, ConnectionError) as exc:
+            print(f"error: {exc}")
+            return 1
+        report = SuiteReport.from_dict(doc["report"])
+    else:
+        report = run_suite(spec, runner=_make_runner(args))
+    print(report.render())
+    print()
+    print(_suite_footer(report))
+    if args.out:
+        report.save(args.out)
+        print(f"wrote report to {args.out}")
+    return 0
 
 
 def _pin_spec_seed(spec: str, seed: int, kind: str) -> str:
@@ -1024,6 +1114,49 @@ def build_parser() -> argparse.ArgumentParser:
     cq.add_argument("report", help="report JSON path")
     _add_engine_flag(cq, default=None)
 
+    su = sub.add_parser(
+        "suite",
+        help=(
+            "declarative experiment suites: one spec over workloads x "
+            "topologies x frameworks x churn x traffic"
+        ),
+    )
+    suite_sub = su.add_subparsers(dest="suite_command", required=True)
+
+    sr = suite_sub.add_parser(
+        "run",
+        help="compile and run a suite spec (shipped name or file path)",
+    )
+    sr.add_argument(
+        "spec",
+        help=(
+            "shipped spec name (see 'suite list') or a JSON/YAML "
+            "spec file path"
+        ),
+    )
+    sr.add_argument(
+        "--out",
+        default=None,
+        help="write the suite report JSON document to this path",
+    )
+    _add_runner_flags(sr)
+    _add_connect_flag(sr)
+
+    suite_sub.add_parser(
+        "list", help="list the shipped suite specs"
+    )
+
+    sva = suite_sub.add_parser(
+        "validate",
+        help="validate a spec and print its resolved cell plan",
+    )
+    sva.add_argument("spec", help="shipped spec name or spec file path")
+
+    srp = suite_sub.add_parser(
+        "report", help="pretty-print a saved suite report document"
+    )
+    srp.add_argument("report", help="suite report JSON path")
+
     sim = sub.add_parser(
         "simulate",
         help="evaluate end-to-end traffic impact of a deployment",
@@ -1100,6 +1233,8 @@ def main(argv: Sequence[str] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
     return _cmd_experiment(args)
 
 

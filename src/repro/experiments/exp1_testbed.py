@@ -10,6 +10,13 @@ and program count:
 * (b) execution time of the deployment decision;
 * (c)/(d) normalized FCT and goodput of a flow crossing the testbed
   carrying that overhead.
+
+Since the suite-compiler refactor this module is a thin shim: the
+experiment itself is the shipped ``repro.suite/v1`` spec
+(``repro/suite/specs/exp1.json``), :func:`run` compiles a matching
+spec through :func:`repro.suite.compiler.deployment_cells`, and the
+tables come from :func:`render` (the suite's ``exp1`` aggregator calls
+it too, so ``repro suite run exp1`` prints byte-identical output).
 """
 
 from __future__ import annotations
@@ -18,14 +25,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.baselines.base import DeploymentFramework
-from repro.experiments.harness import (
-    DeploymentRecord,
-    default_frameworks,
-)
-from repro.experiments.reporting import Table
+from repro.experiments.harness import DeploymentRecord
+from repro.experiments.reporting import Table, pivot_records
 from repro.network.generators import linear_topology
 from repro.network.topology import Network
-from repro.workloads.switchp4 import real_programs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentRunner
@@ -47,6 +50,40 @@ class Exp1Point:
     record: DeploymentRecord
 
 
+def suite_spec(
+    program_counts: Sequence[int] = PROGRAM_COUNTS,
+    packet_payload_bytes: int = 1024,
+):
+    """The Exp#1 suite spec for an arbitrary count sweep (the shipped
+    ``exp1.json`` is this at the paper's defaults)."""
+    from repro.suite import SuiteSpec
+
+    return SuiteSpec.from_dict(
+        {
+            "suite": "repro.suite/v1",
+            "name": "exp1",
+            "kind": "deployment",
+            "axes": {
+                "workloads": [
+                    {"spec": f"real:{count}", "tag": count}
+                    for count in program_counts
+                ],
+                "topologies": ["testbed"],
+                "frameworks": {
+                    "set": "paper",
+                    "ilp_time_limit_s": 20.0,
+                    "per_program_ilp_time_limit_s": 2.0,
+                },
+            },
+            "params": {
+                "tag_axis": "workload",
+                "packet_payload_bytes": packet_payload_bytes,
+            },
+            "aggregate": ["exp1"],
+        }
+    )
+
+
 def run(
     program_counts: Sequence[int] = PROGRAM_COUNTS,
     frameworks: Optional[Sequence[DeploymentFramework]] = None,
@@ -54,29 +91,13 @@ def run(
     runner: Optional["ExperimentRunner"] = None,
 ) -> List[Exp1Point]:
     """Deploy 2-10 real programs on the 3-switch testbed."""
-    from repro.experiments.runner import Cell, execute_cells
+    from repro.experiments.runner import execute_cells
+    from repro.suite import deployment_cells
 
-    cells: List[Cell] = []
-    for count in program_counts:
-        programs = tuple(real_programs(count))
-        network = testbed_network()
-        sweep_frameworks = (
-            list(frameworks)
-            if frameworks is not None
-            else default_frameworks(
-                ilp_time_limit_s=20.0, per_program_ilp_time_limit_s=2.0
-            )
-        )
-        for framework in sweep_frameworks:
-            cells.append(
-                Cell(
-                    programs=programs,
-                    network=network,
-                    framework=framework,
-                    packet_payload_bytes=packet_payload_bytes,
-                    tag=count,
-                )
-            )
+    cells = deployment_cells(
+        suite_spec(program_counts, packet_payload_bytes),
+        frameworks_override=frameworks,
+    )
     return [
         Exp1Point(res.cell.tag, res.record)
         for res in execute_cells(cells, runner)
@@ -84,30 +105,18 @@ def run(
 
 
 def _pivot(
-    points: List[Exp1Point], attr: str, title: str, fmt=lambda v: v
+    points: List[Exp1Point], attr: str, title: str
 ) -> Table:
-    counts = sorted({p.num_programs for p in points})
-    names: List[str] = []
-    for p in points:
-        if p.record.framework not in names:
-            names.append(p.record.framework)
-    table = Table(title, ["framework"] + [f"n={c}" for c in counts])
-    for name in names:
-        row: List = [name]
-        for count in counts:
-            cell = next(
-                p.record
-                for p in points
-                if p.record.framework == name and p.num_programs == count
-            )
-            row.append(fmt(getattr(cell, attr)))
-        table.add_row(row)
-    return table
+    return pivot_records(
+        [(p.num_programs, p.record) for p in points],
+        attr,
+        title,
+        col_label=lambda c: f"n={c}",
+    )
 
 
-def main(points: Optional[List[Exp1Point]] = None) -> str:
-    """Print Fig. 5(a)-(d) as four tables."""
-    points = points if points is not None else run()
+def render(points: List[Exp1Point]) -> str:
+    """Fig. 5(a)-(d') as six tables (what ``main`` prints)."""
     out = [
         _pivot(points, "overhead_bytes", "Fig. 5(a): per-packet byte overhead (B)"),
         _pivot(
@@ -128,7 +137,13 @@ def main(points: Optional[List[Exp1Point]] = None) -> str:
             "Fig. 5(d'): plan-aware normalized goodput (routed pairs)",
         ),
     ]
-    output = "\n\n".join(t.render() for t in out)
+    return "\n\n".join(t.render() for t in out)
+
+
+def main(points: Optional[List[Exp1Point]] = None) -> str:
+    """Print Fig. 5(a)-(d) as four tables."""
+    points = points if points is not None else run()
+    output = render(points)
     print(output)
     return output
 

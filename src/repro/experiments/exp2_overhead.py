@@ -7,6 +7,12 @@ framework is reported per topology.
 
 Exp#3 (execution time) and Exp#4 (end-to-end impact) read the same runs,
 so :func:`run` is shared by all three experiment modules.
+
+Since the suite-compiler refactor the experiment lives in the shipped
+``repro.suite/v1`` spec (``repro/suite/specs/exp2.json``); :func:`run`
+compiles a matching spec through
+:func:`repro.suite.compiler.deployment_cells` and :func:`render`
+produces the table (the suite's ``exp2`` aggregator shares it).
 """
 
 from __future__ import annotations
@@ -15,16 +21,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.baselines.base import DeploymentFramework
-from repro.experiments.harness import (
-    DeploymentRecord,
-    default_frameworks,
-)
-from repro.experiments.reporting import Table
+from repro.experiments.harness import DeploymentRecord
+from repro.experiments.reporting import Table, pivot_records
 from repro.milp.branch_bound import DEFAULT_PROFILE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.runner import ExperimentRunner
-from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
+from repro.network.topozoo import TABLE_III_TOPOLOGIES
 from repro.workloads.switchp4 import real_programs
 from repro.workloads.synthetic import synthetic_programs
 
@@ -39,12 +42,65 @@ def workload(num_programs: int = NUM_PROGRAMS, seed: int = 7):
     return reals + synthetic_programs(remainder, seed=seed)
 
 
+def workload_spec(num_programs: int = NUM_PROGRAMS, seed: int = 7) -> str:
+    """:func:`workload` as a workload-grammar string (suite specs use
+    this form; ``parse_workload`` reproduces the same programs)."""
+    spec = f"real:{min(num_programs, 10)}"
+    if num_programs > 10:
+        spec += f"+synthetic:{num_programs - 10}:{seed}"
+    return spec
+
+
 @dataclass
 class Exp2Point:
     """One (framework, topology) cell of Figs. 6-8."""
 
     topology_id: int
     record: DeploymentRecord
+
+
+def suite_spec(
+    topology_ids: Sequence[int] = TOPOLOGY_IDS,
+    num_programs: int = NUM_PROGRAMS,
+    seed: int = 7,
+    ilp_time_limit_s: float = 10.0,
+    solver_profile: str = DEFAULT_PROFILE,
+):
+    """The Exp#2 suite spec for arbitrary sweep parameters (the
+    shipped ``exp2.json`` is this at the paper's defaults)."""
+    from repro.suite import SuiteSpec
+
+    frameworks = {
+        "set": "paper",
+        "ilp_time_limit_s": ilp_time_limit_s,
+        "per_program_ilp_time_limit_s": max(
+            ilp_time_limit_s / 20.0, 0.2
+        ),
+    }
+    if solver_profile != DEFAULT_PROFILE:
+        frameworks["solver_profile"] = solver_profile
+    return SuiteSpec.from_dict(
+        {
+            "suite": "repro.suite/v1",
+            "name": "exp2",
+            "kind": "deployment",
+            "axes": {
+                "workloads": [
+                    {
+                        "spec": workload_spec(num_programs, seed),
+                        "tag": num_programs,
+                    }
+                ],
+                "topologies": [
+                    {"spec": f"zoo:{tid}", "tag": tid}
+                    for tid in topology_ids
+                ],
+                "frameworks": frameworks,
+            },
+            "params": {"tag_axis": "topology"},
+            "aggregate": ["exp2"],
+        }
+    )
 
 
 def run(
@@ -63,32 +119,16 @@ def run(
     just within one; results are ordered and valued identically to the
     serial run.
     """
-    from repro.experiments.runner import Cell, execute_cells
+    from repro.experiments.runner import execute_cells
+    from repro.suite import deployment_cells
 
-    programs = tuple(workload(num_programs, seed))
-    cells: List[Cell] = []
-    for topology_id in topology_ids:
-        network = topology_zoo_wan(topology_id)
-        sweep_frameworks = (
-            list(frameworks)
-            if frameworks is not None
-            else default_frameworks(
-                ilp_time_limit_s=ilp_time_limit_s,
-                per_program_ilp_time_limit_s=max(
-                    ilp_time_limit_s / 20.0, 0.2
-                ),
-                solver_profile=solver_profile,
-            )
-        )
-        for framework in sweep_frameworks:
-            cells.append(
-                Cell(
-                    programs=programs,
-                    network=network,
-                    framework=framework,
-                    tag=topology_id,
-                )
-            )
+    cells = deployment_cells(
+        suite_spec(
+            topology_ids, num_programs, seed, ilp_time_limit_s,
+            solver_profile,
+        ),
+        frameworks_override=frameworks,
+    )
     return [
         Exp2Point(res.cell.tag, res.record)
         for res in execute_cells(cells, runner)
@@ -99,30 +139,24 @@ def pivot(
     points: List[Exp2Point], attr: str, title: str
 ) -> Table:
     """Framework x topology table of one record attribute."""
-    ids = sorted({p.topology_id for p in points})
-    names: List[str] = []
-    for p in points:
-        if p.record.framework not in names:
-            names.append(p.record.framework)
-    table = Table(title, ["framework"] + [f"topo{t}" for t in ids])
-    for name in names:
-        row: List = [name]
-        for topology_id in ids:
-            record = next(
-                p.record
-                for p in points
-                if p.record.framework == name and p.topology_id == topology_id
-            )
-            row.append(getattr(record, attr))
-        table.add_row(row)
-    return table
+    return pivot_records(
+        [(p.topology_id, p.record) for p in points],
+        attr,
+        title,
+        col_label=lambda t: f"topo{t}",
+    )
+
+
+def render(points: List[Exp2Point]) -> str:
+    """Fig. 6 as one table (what ``main`` prints)."""
+    return pivot(
+        points, "overhead_bytes", "Fig. 6: per-packet byte overhead (B)"
+    ).render()
 
 
 def main(points: Optional[List[Exp2Point]] = None) -> str:
     points = points if points is not None else run()
-    output = pivot(
-        points, "overhead_bytes", "Fig. 6: per-packet byte overhead (B)"
-    ).render()
+    output = render(points)
     print(output)
     return output
 

@@ -16,16 +16,22 @@ from typing import List, Optional
 
 from repro.experiments.exp2_overhead import Exp2Point, pivot, run
 
-__all__ = ["run", "main"]
+__all__ = ["render", "run", "main"]
 
 
-def main(points: Optional[List[Exp2Point]] = None) -> str:
-    points = points if points is not None else run()
-    output = pivot(
+def render(points: List[Exp2Point]) -> str:
+    """Fig. 7 as one table (what ``main`` prints; the suite's ``exp3``
+    aggregator shares it)."""
+    return pivot(
         points,
         "reported_time_ms",
         "Fig. 7: execution time (ms; 1e7 = exceeded limit)",
     ).render()
+
+
+def main(points: Optional[List[Exp2Point]] = None) -> str:
+    points = points if points is not None else run()
+    output = render(points)
     print(output)
     return output
 

@@ -16,11 +16,12 @@ from typing import List, Optional
 
 from repro.experiments.exp2_overhead import Exp2Point, pivot, run
 
-__all__ = ["run", "main"]
+__all__ = ["render", "run", "main"]
 
 
-def main(points: Optional[List[Exp2Point]] = None) -> str:
-    points = points if points is not None else run()
+def render(points: List[Exp2Point]) -> str:
+    """Fig. 8(a)-(b') as four tables (what ``main`` prints; the
+    suite's ``exp4`` aggregator shares it)."""
     tables = [
         pivot(
             points, "fct_ratio", "Fig. 8(a): normalized FCT (1024B packets)"
@@ -45,7 +46,12 @@ def main(points: Optional[List[Exp2Point]] = None) -> str:
             "Fig. 8(b'): plan-aware normalized goodput (routed pairs)",
         ),
     ]
-    output = "\n\n".join(t.render() for t in tables)
+    return "\n\n".join(t.render() for t in tables)
+
+
+def main(points: Optional[List[Exp2Point]] = None) -> str:
+    points = points if points is not None else run()
+    output = render(points)
     print(output)
     return output
 

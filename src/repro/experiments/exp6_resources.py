@@ -85,11 +85,9 @@ def run(
     return rows
 
 
-def main(
-    rows: Optional[List[Exp6Row]] = None,
-    runner: Optional["ExperimentRunner"] = None,
-) -> str:
-    rows = rows if rows is not None else run(runner=runner)
+def render(rows: List[Exp6Row]) -> str:
+    """The resource-accounting table (what ``main`` prints; the
+    suite's ``exp6`` aggregator shares it)."""
     table = Table(
         "Exp#6: switch resource consumption (normalized stage units)",
         ["strategy", "stage units", "MATs", "extra vs ground truth"],
@@ -103,7 +101,15 @@ def main(
                 row.extra_vs_ground_truth,
             ]
         )
-    output = table.render()
+    return table.render()
+
+
+def main(
+    rows: Optional[List[Exp6Row]] = None,
+    runner: Optional["ExperimentRunner"] = None,
+) -> str:
+    rows = rows if rows is not None else run(runner=runner)
+    output = render(rows)
     print(output)
     return output
 

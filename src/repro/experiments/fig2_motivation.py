@@ -89,23 +89,31 @@ def run(
     return [row for rows in per_size for row in rows]
 
 
-def main(runner: Optional["ExperimentRunner"] = None) -> str:
-    """Print the Fig. 2 series as two tables (FCT and goodput)."""
-    rows = run(runner=runner)
+def render(rows: List[Fig2Row]) -> str:
+    """The two Fig. 2 tables (what ``main`` prints; the suite's
+    ``fig2`` aggregator shares it).  Overheads and packet sizes are
+    derived from the rows, so reduced sweeps render consistently."""
+    overheads = sorted({r.overhead_bytes for r in rows})
+    packet_sizes = sorted({r.packet_size for r in rows})
     fct = Table(
         "Fig. 2(a): normalized FCT vs per-packet overhead",
-        ["overhead(B)"] + [f"{s}B pkts" for s in PACKET_SIZES],
+        ["overhead(B)"] + [f"{s}B pkts" for s in packet_sizes],
     )
     goodput = Table(
         "Fig. 2(b): normalized goodput vs per-packet overhead",
-        ["overhead(B)"] + [f"{s}B pkts" for s in PACKET_SIZES],
+        ["overhead(B)"] + [f"{s}B pkts" for s in packet_sizes],
     )
-    for overhead in OVERHEAD_SWEEP:
+    for overhead in overheads:
         per_size = [r for r in rows if r.overhead_bytes == overhead]
         per_size.sort(key=lambda r: r.packet_size)
         fct.add_row([overhead] + [r.fct_ratio for r in per_size])
         goodput.add_row([overhead] + [r.goodput_ratio for r in per_size])
-    output = fct.render() + "\n\n" + goodput.render()
+    return fct.render() + "\n\n" + goodput.render()
+
+
+def main(runner: Optional["ExperimentRunner"] = None) -> str:
+    """Print the Fig. 2 series as two tables (FCT and goodput)."""
+    output = render(run(runner=runner))
     print(output)
     return output
 

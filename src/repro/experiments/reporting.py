@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Callable, Iterable, List, Sequence, Union
 
 Cell = Union[str, int, float]
 
@@ -62,3 +62,37 @@ class Table:
 def format_series(name: str, values: Sequence[Cell]) -> str:
     """One named series on one line: ``name: v1, v2, ...``."""
     return f"{name}: " + ", ".join(_render(v) for v in values)
+
+
+def pivot_records(
+    points: Sequence[tuple],
+    attr: str,
+    title: str,
+    col_label: Callable[[object], str] = str,
+) -> Table:
+    """Framework x coordinate table of one record attribute.
+
+    ``points`` are ``(coordinate, record)`` pairs — the shape every
+    deployment experiment produces.  Rows are frameworks in
+    first-seen order; columns are the sorted distinct coordinates,
+    headed by ``col_label(coordinate)`` (e.g. ``lambda c: f"n={c}"``).
+    This is the one pivot behind exp1/exp2/exp5's figures and the
+    suite compiler's generic ``pivot`` aggregator.
+    """
+    coords = sorted({coord for coord, _ in points})
+    names: List[str] = []
+    for _, record in points:
+        if record.framework not in names:
+            names.append(record.framework)
+    table = Table(title, ["framework"] + [col_label(c) for c in coords])
+    for name in names:
+        row: List[Cell] = [name]
+        for coord in coords:
+            record = next(
+                rec
+                for c, rec in points
+                if rec.framework == name and c == coord
+            )
+            row.append(getattr(record, attr))
+        table.add_row(row)
+    return table

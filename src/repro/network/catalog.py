@@ -1,0 +1,103 @@
+"""Named topology catalog: every topology in the repo by string key.
+
+Suite specs, the CLI and the server all reference topologies as
+strings.  Two naming layers resolve here:
+
+* **presets** — fixed, parameterless names for the networks the paper's
+  experiments use: ``topozoo-1`` .. ``topozoo-10`` (the Table III zoo),
+  ``testbed`` (Exp#1's three-switch Tofino line), ``linear-N`` and
+  ``fattree-K`` generator presets;
+* **the generator grammar** — parameterized specs ``zoo:ID``,
+  ``linear:N``, ``fattree:K`` and ``wan:NODES:EDGES[:SEED]``, shared
+  with ``repro --topology`` (the CLI's :func:`repro.cli.parse_topology`
+  delegates to :func:`resolve`).
+
+Every resolution is deterministic: the same key always builds the same
+network, which is what lets the experiment runner's content-addressed
+cache collapse repeated suite cells.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.generators import fat_tree, linear_topology, random_wan
+from repro.network.topology import Network
+from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
+
+
+def _testbed() -> Network:
+    """Exp#1's testbed: three Tofino-like switches in a line."""
+    return linear_topology(3, programmable=True, link_latency_ms=0.001)
+
+
+#: Preset name -> (factory, one-line description).
+_PRESETS: Dict[str, Tuple[Callable[[], Network], str]] = {
+    "testbed": (
+        _testbed,
+        "3-switch Tofino testbed line (Exp#1, link latency 1 us)",
+    ),
+}
+for _tid, (_nodes, _edges) in sorted(TABLE_III_TOPOLOGIES.items()):
+    _PRESETS[f"topozoo-{_tid}"] = (
+        # bind the loop variable at definition time
+        (lambda tid=_tid: topology_zoo_wan(tid)),
+        f"Table III topology {_tid} ({_nodes} nodes, {_edges} edges)",
+    )
+for _n in (3, 5, 8):
+    _PRESETS[f"linear-{_n}"] = (
+        (lambda n=_n: linear_topology(n)),
+        f"{_n}-switch linear chain",
+    )
+for _k in (4, 8):
+    _PRESETS[f"fattree-{_k}"] = (
+        (lambda k=_k: fat_tree(k)),
+        f"k={_k} fat-tree (programmable edge/aggregation)",
+    )
+
+
+def catalog_names() -> List[str]:
+    """Every preset key, sorted."""
+    return sorted(_PRESETS)
+
+
+def describe(name: str) -> str:
+    """One-line description of a preset key."""
+    try:
+        return _PRESETS[name][1]
+    except KeyError:
+        raise ValueError(f"unknown topology preset {name!r}") from None
+
+
+def resolve(spec: str, seed: Optional[int] = None) -> Network:
+    """Build the network a catalog key or generator spec names.
+
+    Preset names resolve first; anything else is parsed with the
+    generator grammar (``zoo:ID``, ``linear:N``, ``fattree:K``,
+    ``wan:NODES:EDGES[:SEED]``).  ``seed`` seeds the random WAN
+    generator unless the spec pins its own (``wan:N:E:SEED``).
+    """
+    preset = _PRESETS.get(spec.strip())
+    if preset is not None:
+        return preset[0]()
+    fields = spec.strip().split(":")
+    kind = fields[0]
+    if kind == "zoo":
+        return topology_zoo_wan(int(fields[1]))
+    if kind == "linear":
+        return linear_topology(int(fields[1]))
+    if kind == "fattree":
+        return fat_tree(int(fields[1]))
+    if kind == "wan":
+        nodes, edges = int(fields[1]), int(fields[2])
+        if len(fields) > 3:
+            wan_seed = int(fields[3])
+        elif seed is not None:
+            wan_seed = seed
+        else:
+            wan_seed = 0
+        return random_wan(nodes, edges, seed=wan_seed)
+    raise ValueError(f"unknown topology kind {kind!r} in {spec!r}")
+
+
+__all__ = ["catalog_names", "describe", "resolve"]

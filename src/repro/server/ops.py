@@ -1,7 +1,8 @@
 """Request -> document operations shared by the CLI and the server.
 
 Every control-plane operation (``deploy``, ``plan_diff``,
-``simulate``, ``churn_run``) is a pure function from a JSON-able
+``simulate``, ``churn_run``, ``suite_run``) is a pure function from a
+JSON-able
 params dict to a JSON-able result document.  The one-shot CLI commands
 and the long-lived server sessions both call *these* functions, which
 is what makes the server/CLI differential structural rather than
@@ -64,6 +65,12 @@ SIMULATE_DEFAULTS: Dict[str, Any] = {
     "trace_seed": 11,
     "payload": 1024,
     "message_bytes": 1_000_000,
+}
+
+SUITE_RUN_DEFAULTS: Dict[str, Any] = {
+    "name": None,  # shipped spec name (repro.suite.registry)
+    "spec": None,  # inline repro.suite/v1 document
+    "workers": 1,
 }
 
 CHURN_DEFAULTS: Dict[str, Any] = {
@@ -420,6 +427,44 @@ def churn_op(params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# suite_run
+# ----------------------------------------------------------------------
+def suite_op(params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Run one declarative suite end to end.
+
+    Exactly what ``repro suite run`` does in-process: resolve a
+    shipped spec by ``name`` or validate an inline ``spec`` document,
+    compile it through :func:`repro.suite.compiler.run_suite` and wrap
+    the :class:`~repro.suite.report.SuiteReport` document.  Per-cell
+    progress reaches subscribed clients through the same telemetry
+    stream as every other op (``suite.start``/``suite.cell``/
+    ``suite.done``).
+    """
+    from repro.suite import SuiteSpec, SuiteSpecError, load_spec, run_suite
+
+    p = resolve_params(params, SUITE_RUN_DEFAULTS)
+    if (p["name"] is None) == (p["spec"] is None):
+        raise OpError("suite_run needs exactly one of 'name' or 'spec'")
+    if p["spec"] is not None and not isinstance(p["spec"], dict):
+        raise OpError("'spec' must be a repro.suite/v1 document object")
+    try:
+        if p["spec"] is not None:
+            spec = SuiteSpec.from_dict(p["spec"])
+        else:
+            spec = load_spec(p["name"])
+    except (SuiteSpecError, ValueError) as exc:
+        raise OpError(str(exc)) from exc
+    runner = None
+    workers = p["workers"] or 1
+    if workers > 1:
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = ExperimentRunner(workers=workers)
+    report = run_suite(spec, runner=runner)
+    return {"report": report.to_dict()}
+
+
+# ----------------------------------------------------------------------
 # The differential contract
 # ----------------------------------------------------------------------
 #: Handlers by op name, as the server dispatches them.
@@ -428,6 +473,7 @@ OP_FUNCTIONS = {
     "plan_diff": plan_diff_op,
     "simulate": simulate_op,
     "churn_run": churn_op,
+    "suite_run": suite_op,
 }
 
 
@@ -456,5 +502,23 @@ def deterministic_view(op: str, doc: Mapping[str, Any]) -> Dict[str, Any]:
             "history": doc["history"],
             "converged": doc["converged"],
         }
+    if op == "suite_run":
+        # Cache hits depend on run history, not params, and the
+        # rendered tables embed measured execution-time columns
+        # (Fig. 5(b)/7/9(b)): both are excluded, like ``timing``.
+        # Cell records carry only deterministic_fields by construction.
+        report = {
+            k: v for k, v in doc["report"].items() if k != "tables"
+        }
+        report["cells"] = [
+            {k: v for k, v in cell.items() if k != "cached"}
+            for cell in report["cells"]
+        ]
+        report["meta"] = {
+            k: v
+            for k, v in report.get("meta", {}).items()
+            if k != "cached_cells"
+        }
+        return {"report": report}
     doc.pop("timing", None)
     return doc

@@ -57,6 +57,7 @@ OPS = frozenset(
         "plan_diff",
         "simulate",
         "churn_run",
+        "suite_run",
         "subscribe",
         "session_info",
         "shutdown",

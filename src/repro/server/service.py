@@ -42,6 +42,7 @@ from repro.server.ops import (
     deploy_op,
     resolve_params,
     simulate_op,
+    suite_op,
 )
 from repro.server.session import Session
 from repro.telemetry import attached, tee
@@ -356,6 +357,10 @@ class ReproServer:
         if op == "churn_run":
             return await self._in_ops_thread(
                 conn, partial(churn_op, params)
+            )
+        if op == "suite_run":
+            return await self._in_ops_thread(
+                conn, partial(suite_op, params)
             )
         raise AssertionError(op)  # unreachable: validate_request gates
 

@@ -31,6 +31,7 @@ from repro.simulation.netsim import (
     uniform_path,
 )
 from repro.simulation.spec import (
+    DiurnalLoad,
     FlowSpec,
     SimulationSpec,
     TrafficModel,
@@ -82,6 +83,7 @@ __all__ = [
     "Flow",
     "FlowMetrics",
     "FlowSimulator",
+    "DiurnalLoad",
     "FlowSpec",
     "HopSpec",
     "MIN_PAYLOAD_BYTES",

@@ -28,8 +28,10 @@ traffic-model constants.  Constructors cover the repo's producers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.simulation.flow import DEFAULT_MTU, Flow, flow_pair
 from repro.simulation.netsim import HopSpec, uniform_path
@@ -49,6 +51,83 @@ E2E_HOPS = 5
 
 
 @dataclass(frozen=True)
+class DiurnalLoad:
+    """Seeded diurnal/periodic offered-load modulation.
+
+    ``load_at(hour)`` follows a sinusoid around ``base`` — peak at
+    ``phase_hours`` + a quarter period, trough half a period later —
+    optionally perturbed by seeded multiplicative jitter.  The same
+    ``(seed, hour)`` always yields the same load, so suites sweeping
+    time-of-day traffic stay deterministic and cacheable.
+
+    Attributes:
+        base: Mean offered load (bottleneck utilization).
+        amplitude: Relative swing in ``[0, 1]``; 0 = flat.
+        period_hours: Cycle length (24 = diurnal).
+        phase_hours: Hour at which the sinusoid crosses ``base``
+            rising; shift to move the daily peak.
+        jitter: Relative magnitude of seeded per-hour noise in
+            ``[0, 1)``; 0 = none.
+        seed: Jitter seed; each ``(seed, hour)`` draws independently.
+        floor: Lower clamp, keeping the load positive (the traffic
+            model rejects non-positive offered loads).
+    """
+
+    base: float = 0.5
+    amplitude: float = 0.0
+    period_hours: float = 24.0
+    phase_hours: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("base load must be positive")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.floor <= 0:
+            raise ValueError("floor must be positive")
+
+    def load_at(self, hour: float) -> float:
+        """Offered load at ``hour`` (hours since the cycle origin)."""
+        angle = 2.0 * math.pi * (hour - self.phase_hours) / self.period_hours
+        load = self.base * (1.0 + self.amplitude * math.sin(angle))
+        if self.jitter:
+            # One independent, reproducible draw per (seed, hour).
+            u = random.Random(f"{self.seed}:{hour!r}").random()
+            load *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return max(load, self.floor)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base": self.base,
+            "amplitude": self.amplitude,
+            "period_hours": self.period_hours,
+            "phase_hours": self.phase_hours,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "floor": self.floor,
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "DiurnalLoad":
+        unknown = set(doc) - {
+            "base", "amplitude", "period_hours", "phase_hours",
+            "jitter", "seed", "floor",
+        }
+        if unknown:
+            raise ValueError(
+                f"unknown DiurnalLoad keys: {sorted(unknown)}"
+            )
+        return DiurnalLoad(**doc)
+
+
+@dataclass(frozen=True)
 class TrafficModel:
     """The shared knobs of every flow in a spec.
 
@@ -57,6 +136,10 @@ class TrafficModel:
     to the engine's own knob (the CLI's ``--load``) and then to
     :data:`repro.simulation.contention.DEFAULT_LOAD`.  Values above
     1.0 model overload.  The independent-flow engines ignore it.
+
+    ``load_model`` (optional) is a :class:`DiurnalLoad`; engines keep
+    reading the scalar ``offered_load``, so time-varying suites call
+    :meth:`at_hour` to materialize the scalar for a given hour.
     """
 
     packet_payload_bytes: int = 1024
@@ -64,6 +147,7 @@ class TrafficModel:
     header_bytes: int = BASE_HEADER_BYTES
     mtu: int = DEFAULT_MTU
     offered_load: Optional[float] = None
+    load_model: Optional[DiurnalLoad] = None
 
     def __post_init__(self) -> None:
         if self.packet_payload_bytes <= 0:
@@ -72,6 +156,49 @@ class TrafficModel:
             raise ValueError("message_bytes must be positive")
         if self.offered_load is not None and self.offered_load <= 0:
             raise ValueError("offered_load must be positive when set")
+
+    def at_hour(self, hour: float) -> "TrafficModel":
+        """This model with ``offered_load`` fixed to ``hour``'s value.
+
+        Requires a ``load_model``; the result carries the materialized
+        scalar (and drops the model), so any engine can evaluate it.
+        """
+        if self.load_model is None:
+            raise ValueError("at_hour() needs a load_model")
+        return replace(
+            self,
+            offered_load=self.load_model.load_at(hour),
+            load_model=None,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "packet_payload_bytes": self.packet_payload_bytes,
+            "message_bytes": self.message_bytes,
+            "header_bytes": self.header_bytes,
+            "mtu": self.mtu,
+            "offered_load": self.offered_load,
+        }
+        if self.load_model is not None:
+            doc["load_model"] = self.load_model.to_dict()
+        return doc
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "TrafficModel":
+        known = {
+            "packet_payload_bytes", "message_bytes", "header_bytes",
+            "mtu", "offered_load", "load_model",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown TrafficModel keys: {sorted(unknown)}"
+            )
+        fields = dict(doc)
+        model = fields.pop("load_model", None)
+        if model is not None:
+            fields["load_model"] = DiurnalLoad.from_dict(model)
+        return TrafficModel(**fields)
 
 
 @dataclass(frozen=True)
@@ -337,6 +464,7 @@ def hop_chain(
 
 
 __all__ = [
+    "DiurnalLoad",
     "E2E_HOPS",
     "E2E_MESSAGE_BYTES",
     "FlowSpec",

@@ -1,0 +1,52 @@
+"""Declarative experiment suites: spec -> compiler -> report.
+
+``repro.suite`` turns the paper's experiment matrix into data.  A
+``repro.suite/v1`` document (:mod:`~repro.suite.spec`) names a kind
+and its axes; the compiler (:mod:`~repro.suite.compiler`) resolves the
+cross-product onto the existing :class:`~repro.experiments.runner
+.ExperimentRunner` (content-addressed cache keys per cell, suite/cell
+telemetry); aggregators (:mod:`~repro.suite.aggregate`) fold results
+into the paper's tables; one versioned
+:class:`~repro.suite.report.SuiteReport` carries it all.  exp1-exp7
+and fig2 ship as spec files (:mod:`~repro.suite.registry`), locked
+byte-for-byte against their pre-refactor outputs by the golden tests.
+"""
+
+from repro.suite.compiler import (
+    FRAMEWORK_REGISTRY,
+    build_frameworks,
+    cell_plan,
+    deployment_cells,
+    run_suite,
+)
+from repro.suite.report import REPORT_VERSION, SuiteReport
+from repro.suite.registry import (
+    load_spec,
+    shipped_specs,
+    spec_names,
+    spec_path,
+)
+from repro.suite.spec import (
+    SUITE_VERSION,
+    AxisEntry,
+    SuiteSpec,
+    SuiteSpecError,
+)
+
+__all__ = [
+    "AxisEntry",
+    "FRAMEWORK_REGISTRY",
+    "REPORT_VERSION",
+    "SUITE_VERSION",
+    "SuiteReport",
+    "SuiteSpec",
+    "SuiteSpecError",
+    "build_frameworks",
+    "cell_plan",
+    "deployment_cells",
+    "load_spec",
+    "run_suite",
+    "shipped_specs",
+    "spec_names",
+    "spec_path",
+]

@@ -1,0 +1,162 @@
+"""Aggregators: fold a suite's outcome into rendered tables.
+
+Each aggregator is ``fn(spec, outcome) -> str`` where ``outcome`` is
+what :func:`~repro.suite.compiler.run_suite` produced for the spec's
+kind (deployment: ``CellResult`` list; churn: ``Exp7Point`` list;
+resources: ``Exp6Row`` list; overhead_sweep: ``Fig2Row`` list;
+traffic: row dicts).  The experiment aggregators delegate to the
+refactored experiment modules' ``render`` functions, so a suite run
+of a shipped spec prints byte-identical tables to the historical
+``python -m repro expN``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.experiments.reporting import Table
+from repro.suite.spec import SuiteSpec
+
+
+def _exp1(spec: SuiteSpec, results: List[Any]) -> str:
+    from repro.experiments import exp1_testbed
+
+    points = [
+        exp1_testbed.Exp1Point(res.cell.tag, res.record)
+        for res in results
+    ]
+    return exp1_testbed.render(points)
+
+
+def _exp2(spec: SuiteSpec, results: List[Any]) -> str:
+    from repro.experiments import exp2_overhead
+
+    return exp2_overhead.render(_exp2_points(results))
+
+
+def _exp2_points(results: List[Any]) -> List[Any]:
+    from repro.experiments import exp2_overhead
+
+    return [
+        exp2_overhead.Exp2Point(res.cell.tag, res.record)
+        for res in results
+    ]
+
+
+def _exp3(spec: SuiteSpec, results: List[Any]) -> str:
+    from repro.experiments import exp3_exectime
+
+    return exp3_exectime.render(_exp2_points(results))
+
+
+def _exp4(spec: SuiteSpec, results: List[Any]) -> str:
+    from repro.experiments import exp4_endtoend
+
+    return exp4_endtoend.render(_exp2_points(results))
+
+
+def _exp5(spec: SuiteSpec, results: List[Any]) -> str:
+    from repro.experiments import exp5_scalability
+
+    points = [
+        exp5_scalability.Exp5Point(res.cell.tag, res.record)
+        for res in results
+    ]
+    return exp5_scalability.render(points)
+
+
+def _exp6(spec: SuiteSpec, rows: List[Any]) -> str:
+    from repro.experiments import exp6_resources
+
+    return exp6_resources.render(rows)
+
+
+def _exp7(spec: SuiteSpec, points: List[Any]) -> str:
+    from repro.experiments import exp7_churn
+
+    return exp7_churn.table(points).render()
+
+
+def _fig2(spec: SuiteSpec, rows: List[Any]) -> str:
+    from repro.experiments import fig2_motivation
+
+    return fig2_motivation.render(rows)
+
+
+#: Record attributes the generic deployment pivot reports.
+_PIVOT_ATTRS = (
+    ("overhead_bytes", "per-packet byte overhead (B)"),
+    ("reported_time_ms", "execution time (ms; 1e7 = exceeded limit)"),
+    ("fct_ratio", "normalized FCT"),
+    ("goodput_ratio", "normalized goodput"),
+)
+
+
+def _pivot(spec: SuiteSpec, results: List[Any]) -> str:
+    """Generic framework x tag pivots over the deterministic record
+    columns — the default view of an ad-hoc deployment suite."""
+    from repro.experiments.reporting import pivot_records
+
+    heading = spec.title or spec.name
+    points = [(res.cell.tag, res.record) for res in results]
+    tables = [
+        pivot_records(points, attr, f"{heading}: {label}")
+        for attr, label in _PIVOT_ATTRS
+    ]
+    return "\n\n".join(t.render() for t in tables)
+
+
+def _traffic(spec: SuiteSpec, rows: List[Dict[str, Any]]) -> str:
+    """Hour x overhead table of the contention engine's columns."""
+    heading = spec.title or spec.name
+    table = Table(
+        f"{heading}: diurnal contention sweep",
+        [
+            "hour", "overhead(B)", "load", "FCT ratio",
+            "goodput ratio", "mean wait (us)", "contended",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["hour"],
+                row["overhead"],
+                row["load"],
+                row["fct_ratio"],
+                row["goodput_ratio"],
+                row["mean_wait_us"],
+                row["contended_fraction"],
+            ]
+        )
+    return table.render()
+
+
+AGGREGATORS: Dict[str, Callable[[SuiteSpec, Any], str]] = {
+    "exp1": _exp1,
+    "exp2": _exp2,
+    "exp3": _exp3,
+    "exp4": _exp4,
+    "exp5": _exp5,
+    "exp6": _exp6,
+    "exp7": _exp7,
+    "fig2": _fig2,
+    "pivot": _pivot,
+    "traffic": _traffic,
+}
+
+_DEFAULTS = {
+    "deployment": ("pivot",),
+    "churn": ("exp7",),
+    "resources": ("exp6",),
+    "overhead_sweep": ("fig2",),
+    "traffic": ("traffic",),
+}
+
+
+def default_aggregators(kind: str):
+    """The aggregator names a kind falls back to when the spec names
+    none."""
+    return _DEFAULTS[kind]
+
+
+__all__ = ["AGGREGATORS", "default_aggregators"]

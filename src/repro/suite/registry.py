@@ -1,0 +1,54 @@
+"""Shipped suite specs: the paper's experiments as data files.
+
+Every ``*.json`` under ``repro/suite/specs/`` is a named
+``repro.suite/v1`` document; ``load_spec`` resolves a name (``exp2``)
+or a filesystem path (``my-sweep.json``/``.yaml``), so the CLI and
+the server share one lookup.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.suite.spec import SuiteSpec
+
+_SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+
+def spec_names() -> List[str]:
+    """The shipped spec names, sorted."""
+    return sorted(
+        os.path.splitext(entry)[0]
+        for entry in os.listdir(_SPEC_DIR)
+        if entry.endswith(".json")
+    )
+
+
+def spec_path(name: str) -> str:
+    """Filesystem path of a shipped spec."""
+    path = os.path.join(_SPEC_DIR, f"{name}.json")
+    if not os.path.isfile(path):
+        raise ValueError(
+            f"unknown suite spec {name!r}; shipped: {spec_names()}"
+        )
+    return path
+
+
+def load_spec(name_or_path: str) -> SuiteSpec:
+    """Load a shipped spec by name, or any spec file by path."""
+    if os.path.sep in name_or_path or name_or_path.endswith(
+        (".json", ".yaml", ".yml")
+    ):
+        if not os.path.isfile(name_or_path):
+            raise ValueError(f"no such spec file: {name_or_path!r}")
+        return SuiteSpec.load(name_or_path)
+    return SuiteSpec.load(spec_path(name_or_path))
+
+
+def shipped_specs() -> Dict[str, SuiteSpec]:
+    """Every shipped spec, loaded and validated."""
+    return {name: SuiteSpec.load(spec_path(name)) for name in spec_names()}
+
+
+__all__ = ["load_spec", "shipped_specs", "spec_names", "spec_path"]

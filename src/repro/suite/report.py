@@ -1,0 +1,98 @@
+"""The versioned ``SuiteReport`` artifact a suite run produces.
+
+One run -> one report: the resolved spec, per-cell summaries (sweep
+coordinates, cache flags, deterministic record fields — never
+wall-clock), and the aggregated tables.  ``render()`` reproduces the
+historical experiment stdout byte for byte (the golden tests compare
+against the pre-refactor modules), and ``to_dict``/``from_dict`` give
+the same round-trippable JSON contract as the plan and scenario
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+REPORT_VERSION = "repro.suite-report/v1"
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one :func:`~repro.suite.compiler.run_suite` call."""
+
+    name: str
+    kind: str
+    title: str = ""
+    spec: Dict[str, Any] = field(default_factory=dict)
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    tables: List[str] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cached_cells(self) -> int:
+        return sum(1 for c in self.cells if c.get("cached"))
+
+    def render(self) -> str:
+        """The aggregated tables, exactly as the legacy modules print
+        them (blocks joined by a blank line)."""
+        return "\n\n".join(self.tables)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "name": self.name,
+            "kind": self.kind,
+            "title": self.title,
+            "spec": self.spec,
+            "cells": self.cells,
+            "tables": self.tables,
+            "meta": self.meta,
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "SuiteReport":
+        version = doc.get("version")
+        if version != REPORT_VERSION:
+            raise ValueError(
+                f"unsupported suite report version {version!r} "
+                f"(expected {REPORT_VERSION!r})"
+            )
+        unknown = set(doc) - {
+            "version", "name", "kind", "title", "spec", "cells",
+            "tables", "meta",
+        }
+        if unknown:
+            raise ValueError(
+                f"unknown suite report keys: {sorted(unknown)}"
+            )
+        return SuiteReport(
+            name=doc["name"],
+            kind=doc["kind"],
+            title=doc.get("title", ""),
+            spec=doc.get("spec", {}),
+            cells=doc.get("cells", []),
+            tables=doc.get("tables", []),
+            meta=doc.get("meta", {}),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @staticmethod
+    def load(path: str) -> "SuiteReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return SuiteReport.from_dict(json.load(fh))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+            fh.write("\n")
+
+
+__all__ = ["REPORT_VERSION", "SuiteReport"]

@@ -1,0 +1,74 @@
+"""The named topology catalog: presets, grammar passthrough, errors."""
+
+import pytest
+
+from repro.network.catalog import catalog_names, describe, resolve
+from repro.network.topozoo import TABLE_III_TOPOLOGIES, topology_zoo_wan
+
+
+def _names(net):
+    return sorted(s.name for s in net.switches)
+
+
+def _edges(net):
+    return sorted(link.key for link in net.links)
+
+
+def test_catalog_names_sorted_and_complete():
+    names = catalog_names()
+    assert names == sorted(names)
+    assert "testbed" in names
+    for tid in TABLE_III_TOPOLOGIES:
+        assert f"topozoo-{tid}" in names
+    assert "linear-3" in names and "fattree-4" in names
+
+
+def test_testbed_preset_is_exp1_network():
+    net = resolve("testbed")
+    assert len(net.switches) == 3
+    assert all(s.programmable for s in net.switches)
+
+
+def test_topozoo_preset_matches_generator():
+    preset = resolve("topozoo-1")
+    direct = topology_zoo_wan(1)
+    assert len(preset.switches) == len(direct.switches) == 79
+    assert preset.name == direct.name
+    assert _edges(preset) == _edges(direct)
+
+
+def test_linear_and_fattree_presets():
+    assert len(resolve("linear-5").switches) == 5
+    assert len(resolve("fattree-4").switches) == 20
+
+
+def test_grammar_passthrough():
+    assert len(resolve("zoo:1").switches) == 79
+    assert len(resolve("linear:4").switches) == 4
+    assert len(resolve("fattree:4").switches) == 20
+    assert len(resolve("wan:12:16:3").switches) == 12
+
+
+def test_wan_seed_parameter():
+    # seed= applies only when the spec does not pin its own seed
+    a = resolve("wan:10:14", seed=5)
+    b = resolve("wan:10:14:5")
+    assert _names(a) == _names(b)
+    assert _edges(a) == _edges(b)
+
+
+def test_describe_known_and_unknown():
+    assert "Table III" in describe("topozoo-3")
+    with pytest.raises(ValueError, match="topology preset"):
+        describe("nope")
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError, match="topology kind"):
+        resolve("ring:5")
+
+
+def test_preset_resolution_is_deterministic():
+    a, b = resolve("topozoo-7"), resolve("topozoo-7")
+    assert _names(a) == _names(b)
+    assert _edges(a) == _edges(b)

@@ -1,0 +1,91 @@
+"""The ``suite_run`` op: params, dispatch, streaming, differential."""
+
+import pytest
+
+from repro.baselines import Ffl, Ffls
+from repro.plan.serialize import canonical_dumps
+from repro.server.client import ReproClient, ServerError
+from repro.server.ops import OpError, deterministic_view, suite_op
+
+TINY_SPEC = {
+    "suite": "repro.suite/v1",
+    "name": "tiny",
+    "kind": "deployment",
+    "axes": {
+        "workloads": ["real:2"],
+        "topologies": ["linear-3"],
+        "frameworks": ["ffl", "ffls"],
+    },
+}
+
+
+class TestParams:
+    def test_needs_exactly_one_of_name_or_spec(self):
+        with pytest.raises(OpError, match="exactly one"):
+            suite_op({})
+        with pytest.raises(OpError, match="exactly one"):
+            suite_op({"name": "smoke", "spec": TINY_SPEC})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(OpError, match="unknown params"):
+            suite_op({"name": "smoke", "bogus": 1})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OpError, match="unknown suite spec"):
+            suite_op({"name": "exp99"})
+
+    def test_invalid_inline_spec_rejected(self):
+        with pytest.raises(OpError, match="unknown suite kind"):
+            suite_op({"spec": {**TINY_SPEC, "kind": "nope"}})
+        with pytest.raises(OpError, match="document object"):
+            suite_op({"spec": "smoke"})
+
+    def test_local_run_produces_a_report_doc(self):
+        doc = suite_op({"spec": TINY_SPEC})
+        report = doc["report"]
+        assert report["version"] == "repro.suite-report/v1"
+        assert report["name"] == "tiny"
+        assert len(report["cells"]) == 2
+
+
+class TestServer:
+    def test_differential_with_local_op(self, server):
+        """Server and in-process runs agree on the deterministic view
+        byte for byte (the cache-hit flags are excluded by design)."""
+        local = suite_op({"spec": TINY_SPEC})
+        with ReproClient.connect(server.address) as client:
+            remote = client.request("suite_run", {"spec": TINY_SPEC})
+        assert canonical_dumps(
+            deterministic_view("suite_run", remote)
+        ) == canonical_dumps(deterministic_view("suite_run", local))
+
+    def test_shipped_name_resolves_server_side(self, server):
+        with ReproClient.connect(server.address) as client:
+            doc = client.request("suite_run", {"name": "smoke"})
+        assert doc["report"]["name"] == "smoke"
+        assert len(doc["report"]["cells"]) == 8
+
+    def test_per_cell_telemetry_streams(self, server):
+        events = []
+        with ReproClient.connect(server.address) as client:
+            client.subscribe()
+            client.request(
+                "suite_run",
+                {"spec": TINY_SPEC},
+                on_event=lambda frame: events.append(frame["data"]),
+            )
+        kinds = [e.get("kind") for e in events]
+        assert "suite.start" in kinds
+        assert kinds.count("suite.cell") == 2
+        assert "suite.done" in kinds
+        cells = [e for e in events if e.get("kind") == "suite.cell"]
+        assert {c["framework"] for c in cells} == {
+            Ffl().name, Ffls().name
+        }
+
+    def test_op_error_envelope(self, server):
+        with ReproClient.connect(server.address) as client:
+            with pytest.raises(ServerError) as err:
+                client.request("suite_run", {"name": "exp99"})
+            assert err.value.code == "invalid_params"
+            assert client.ping()["pong"] is True

@@ -1,0 +1,116 @@
+"""Seeded diurnal load modulation: determinism + serialization."""
+
+import math
+
+import pytest
+
+from repro.simulation.spec import DiurnalLoad, TrafficModel
+
+
+def test_flat_model_is_base():
+    model = DiurnalLoad(base=0.7)
+    assert model.load_at(0.0) == pytest.approx(0.7)
+    assert model.load_at(13.5) == pytest.approx(0.7)
+
+
+def test_sinusoid_peak_and_trough():
+    model = DiurnalLoad(base=0.5, amplitude=0.4, period_hours=24.0)
+    # peak a quarter period after phase, trough three quarters after
+    assert model.load_at(6.0) == pytest.approx(0.7)
+    assert model.load_at(18.0) == pytest.approx(0.3)
+    assert model.load_at(0.0) == pytest.approx(0.5)
+
+
+def test_period_and_phase():
+    model = DiurnalLoad(base=0.5, amplitude=0.2, period_hours=12.0,
+                        phase_hours=3.0)
+    assert model.load_at(6.0) == pytest.approx(0.6)
+    assert model.load_at(18.0) == pytest.approx(0.6)
+
+
+def test_floor_clamps():
+    model = DiurnalLoad(base=0.1, amplitude=1.0, floor=0.05)
+    assert model.load_at(18.0) == pytest.approx(0.05)
+
+
+def test_jitter_is_seeded_and_deterministic():
+    a = DiurnalLoad(base=0.5, jitter=0.2, seed=1)
+    b = DiurnalLoad(base=0.5, jitter=0.2, seed=1)
+    c = DiurnalLoad(base=0.5, jitter=0.2, seed=2)
+    hours = [0.0, 1.0, 2.5, 23.0]
+    assert [a.load_at(h) for h in hours] == [b.load_at(h) for h in hours]
+    assert [a.load_at(h) for h in hours] != [c.load_at(h) for h in hours]
+
+
+def test_jitter_bounded():
+    model = DiurnalLoad(base=0.5, jitter=0.3, seed=7)
+    for h in range(48):
+        assert 0.5 * 0.7 <= model.load_at(float(h)) <= 0.5 * 1.3
+
+
+def test_roundtrip():
+    model = DiurnalLoad(base=0.6, amplitude=0.5, period_hours=12.0,
+                        phase_hours=2.0, jitter=0.1, seed=9, floor=0.1)
+    assert DiurnalLoad.from_dict(model.to_dict()) == model
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown DiurnalLoad keys"):
+        DiurnalLoad.from_dict({"base": 0.5, "bogus": 1})
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base": 0.0},
+        {"amplitude": 1.5},
+        {"period_hours": 0.0},
+        {"jitter": 1.0},
+        {"floor": 0.0},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        DiurnalLoad(**kwargs)
+
+
+def test_traffic_model_at_hour():
+    traffic = TrafficModel(
+        load_model=DiurnalLoad(base=0.5, amplitude=0.4)
+    )
+    peak = traffic.at_hour(6.0)
+    assert peak.offered_load == pytest.approx(0.7)
+    assert peak.load_model is None
+    # repeated materialization is stable
+    assert traffic.at_hour(6.0) == peak
+
+
+def test_traffic_model_at_hour_requires_model():
+    with pytest.raises(ValueError, match="load_model"):
+        TrafficModel().at_hour(0.0)
+
+
+def test_traffic_model_roundtrip():
+    traffic = TrafficModel(
+        packet_payload_bytes=512,
+        offered_load=None,
+        load_model=DiurnalLoad(base=0.4, amplitude=0.3, seed=2),
+    )
+    assert TrafficModel.from_dict(traffic.to_dict()) == traffic
+    plain = TrafficModel(offered_load=0.9)
+    assert TrafficModel.from_dict(plain.to_dict()) == plain
+
+
+def test_traffic_model_from_dict_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown TrafficModel keys"):
+        TrafficModel.from_dict({"load": 0.5})
+
+
+def test_load_at_continuity_over_period():
+    # without jitter the curve is smooth: small step, small change
+    model = DiurnalLoad(base=0.5, amplitude=0.4)
+    prev = model.load_at(0.0)
+    for i in range(1, 241):
+        cur = model.load_at(i * 0.1)
+        assert abs(cur - prev) < 0.4 * 0.5 * 2 * math.pi * 0.1 / 24 + 1e-9
+        prev = cur
